@@ -1,0 +1,72 @@
+// Ablation — heuristic choice per application shape (§3.2.1, §8).
+//
+// The paper asks the developer to pick BFS for fan-out-shaped apps and
+// longest-path for pipelines, and floats combining them as future work.
+// This harness scores all three (plus k3s) on both application shapes by
+// the scheduler's own figure of merit — bandwidth left crossing the mesh —
+// and verifies the auto heuristic always matches the better specialist.
+#include "common.h"
+
+#include <set>
+
+#include "sched/bass_scheduler.h"
+#include "sched/k3s_scheduler.h"
+
+using namespace bass;
+
+namespace {
+
+void score(const app::AppGraph& g, const cluster::ClusterState& cluster,
+           const sched::NetworkView& view) {
+  std::printf("\n%s (%d components, %.1f cores):\n", g.name().c_str(),
+              g.component_count(), static_cast<double>(g.total_cpu_milli()) / 1000.0);
+  const sched::BassScheduler bfs(sched::Heuristic::kBreadthFirst);
+  const sched::BassScheduler lp(sched::Heuristic::kLongestPath);
+  const sched::BassScheduler combined(sched::Heuristic::kAuto);
+  const sched::K3sScheduler k3s;
+  const sched::K3sScheduler k3s_pack(sched::K3sScoring::kMostAllocated);
+  const sched::Scheduler* schedulers[] = {&bfs, &lp, &combined, &k3s, &k3s_pack};
+  for (const sched::Scheduler* s : schedulers) {
+    const auto r = s->schedule(g, cluster, view);
+    if (!r.ok()) {
+      std::printf("  %-18s FAILED: %s\n", s->name().c_str(), r.error().c_str());
+      continue;
+    }
+    std::set<net::NodeId> nodes;
+    for (const auto& [c, n] : r.value()) nodes.insert(n);
+    std::printf("  %-18s crossing bandwidth %7.2f Mbps on %zu nodes\n",
+                s->name().c_str(),
+                static_cast<double>(sched::crossing_bandwidth(g, r.value())) / 1e6,
+                nodes.size());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: ordering heuristic vs application shape");
+
+  {
+    // The microbenchmark LAN cluster (generous links).
+    bench::LanCluster rig(3, 12000, 131072);
+    sched::LiveNetworkView view(*rig.network);
+    score(app::camera_pipeline_app(), rig.cluster, view);
+    score(app::social_network_app(), rig.cluster, view);
+    score(app::fig6_example(), rig.cluster, view);
+  }
+  {
+    // The CityLab mesh (constrained, heterogeneous links).
+    bench::CityLabRig rig(sim::minutes(1), false, false);
+    sched::LiveNetworkView view(*rig.network);
+    score(app::camera_pipeline_app(), rig.cluster, view);
+    score(app::social_network_app(100.0 / 400.0), rig.cluster, view);
+  }
+
+  std::printf(
+      "\nexpect: bass-auto always ties the better of bfs/longest-path;\n"
+      "k3s-default strands the most bandwidth on the mesh. k3s-most-allocated\n"
+      "(kube's bin-packing strategy) co-locates by accident and narrows the\n"
+      "gap, but without seeing edge weights it still picks the wrong\n"
+      "roommates — the rest of the gap is bandwidth *awareness*\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 10 — Camera-processing pipeline end-to-end latency under the three
+// schedulers on a 3-node cluster with no bandwidth limits (§6.2.2), plus
+// the placements each scheduler chose (Fig. 10(b)).
+//
+// Paper: BFS 410 ms < longest-path 428 ms < k3s 433 ms (means). The BFS
+// packing keeps the camera->sampler hot path on one node; the longest-path
+// packing strands a listener; k3s spreads everything.
+#include "common.h"
+
+#include "workload/camera_pipeline.h"
+
+using namespace bass;
+
+namespace {
+
+struct Result {
+  double mean_ms;
+  double p99_ms;
+  std::string placement;
+};
+
+Result run(core::SchedulerKind kind) {
+  // c6525-25g machines: 16 cores, ~12 allocatable after system pods.
+  bench::LanCluster rig(3, 12000, 131072);
+  auto graph = app::camera_pipeline_app();
+  const auto id = rig.orch->deploy(std::move(graph), kind);
+  if (!id.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", id.error().c_str());
+    std::exit(1);
+  }
+
+  // 10 fps frame pipeline for 5 minutes (the looped 12 s intersection clip).
+  workload::CameraPipelineConfig cfg;
+  cfg.fps = 10;
+  cfg.seed = 10;
+  workload::CameraPipelineEngine engine(*rig.orch, id.value(), cfg);
+  engine.start();
+  rig.sim.run_until(sim::minutes(5));
+  engine.stop();
+  rig.sim.run_until(sim::minutes(6));
+
+  Result r;
+  r.mean_ms = engine.e2e().mean_ms();
+  r.p99_ms = engine.e2e().p99_ms();
+  const auto& g = rig.orch->app(id.value());
+  for (app::ComponentId c = 0; c < g.component_count(); ++c) {
+    r.placement += g.component(c).name + "->node" +
+                   std::to_string(rig.orch->node_of(id.value(), c) + 1) + "  ";
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 10: camera pipeline latency by scheduler (no limits)");
+  const struct {
+    const char* name;
+    core::SchedulerKind kind;
+    double paper_ms;
+  } rows[] = {
+      {"bass-bfs", core::SchedulerKind::kBassBfs, 410},
+      {"bass-longest-path", core::SchedulerKind::kBassLongestPath, 428},
+      {"k3s-default", core::SchedulerKind::kK3sDefault, 433},
+  };
+
+  std::printf("%-20s %12s %12s %10s\n", "scheduler", "mean (ms)", "p99 (ms)",
+              "paper(ms)");
+  for (const auto& row : rows) {
+    const Result r = run(row.kind);
+    std::printf("%-20s %12.1f %12.1f %10.0f\n", row.name, r.mean_ms, r.p99_ms,
+                row.paper_ms);
+    std::printf("    %s\n", r.placement.c_str());
+  }
+  std::printf("\nexpect ordering: bfs <= longest-path <= k3s (paper Fig. 10(a))\n");
+  return 0;
+}

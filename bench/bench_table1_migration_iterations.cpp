@@ -1,0 +1,77 @@
+// Table 1 — Social-network component migrations across successive
+// controller iterations (30 s querying interval, bandwidth reduced to
+// 25 Mbps at one node).
+//
+// Paper: iteration 1 sees 6 components exceeding their link-utilization
+// quota but migrates only 2 (communicating pairs are deduplicated; §3.2.2),
+// then 1/1 and 1/1 in the following iterations.
+#include "common.h"
+
+#include "workload/request_engine.h"
+
+using namespace bass;
+
+int main() {
+  bench::print_header("Table 1: migration iterations (social network, 30 s interval)");
+
+  core::OrchestratorConfig orch_cfg;
+  orch_cfg.restart_duration = sim::seconds(20);
+  bench::LanCluster rig(3, 12000, 131072, net::gbps(1), orch_cfg);
+  monitor::NetMonitor netmon(*rig.network);
+  rig.orch->attach_monitor(&netmon);
+  netmon.start();
+
+  const auto id = rig.orch->deploy(app::social_network_app(),
+                                   core::SchedulerKind::kK3sDefault);
+  if (!id.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", id.error().c_str());
+    return 1;
+  }
+  controller::MigrationParams params;
+  params.evaluation_interval = sim::seconds(30);
+  params.utilization_threshold = 0.50;
+  params.headroom_frac = 0.20;
+  params.cooldown = sim::seconds(30);
+  params.min_migration_gap = sim::seconds(60);
+  rig.orch->enable_migration(id.value(), params);
+
+  workload::RequestWorkloadConfig cfg;
+  cfg.rps = 400;
+  cfg.client_node = 0;
+  cfg.seed = 21;
+  workload::RequestEngine engine(*rig.orch, id.value(), cfg);
+  engine.start();
+
+  // Throttle the node hosting post-storage (the hub of the heavy edges).
+  rig.sim.schedule_at(sim::seconds(10), [&] {
+    const auto node = rig.orch->node_of(
+        id.value(), rig.orch->app(id.value()).find("post-storage-service"));
+    rig.limit_node_egress(node, net::mbps(25));
+  });
+
+  rig.sim.run_until(sim::minutes(6));
+  engine.stop();
+  rig.sim.run_until(sim::minutes(8));
+  netmon.stop();
+
+  std::printf("%10s %38s %18s\n", "iteration", "components exceeding utilization quota",
+              "components migrated");
+  int iteration = 0;
+  for (const auto& round : rig.orch->controller_rounds(id.value())) {
+    ++iteration;
+    std::printf("%10d %38d %18d   (t=%.0fs)\n", iteration, round.violating_components,
+                round.migrations_started, sim::to_seconds(round.at));
+  }
+  if (iteration == 0) std::printf("(no violating rounds recorded)\n");
+
+  std::printf("\nmigrated components:\n");
+  for (const auto& m : rig.orch->migration_events()) {
+    std::printf("  t=%4.0fs %-28s node%d -> node%d\n", sim::to_seconds(m.at),
+                rig.orch->app(id.value()).component(m.component).name.c_str(),
+                m.from + 1, m.to + 1);
+  }
+  std::printf("\nexpect: first iteration has several violators but migrates only a\n"
+              "subset (pair dedup); later iterations shrink (paper Table 1: 6/2,\n"
+              "1/1, 1/1)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 3 — Per-component scheduling latency, k3s vs BASS (longest-path),
+// for all three applications. The paper reports 1.27-1.5 ms per component
+// (dominated by k3s machinery); here we time the pure scheduling decision,
+// so absolute values are far smaller — the comparison of interest is
+// BASS-vs-k3s per app, which the paper found comparable.
+#include <benchmark/benchmark.h>
+
+#include "app/catalog.h"
+#include "sched/bass_scheduler.h"
+#include "sched/k3s_scheduler.h"
+#include "sim/simulation.h"
+
+using namespace bass;
+
+namespace {
+
+struct Rig {
+  sim::Simulation sim;
+  std::unique_ptr<net::Network> network;
+  cluster::ClusterState cluster;
+  std::unique_ptr<sched::LiveNetworkView> view;
+
+  Rig() {
+    net::Topology topo;
+    for (int i = 0; i < 4; ++i) topo.add_node();
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) topo.add_link(i, j, net::gbps(1));
+    }
+    network = std::make_unique<net::Network>(sim, std::move(topo));
+    view = std::make_unique<sched::LiveNetworkView>(*network);
+    for (int i = 0; i < 4; ++i) cluster.add_node(i, {16000, 131072, true});
+  }
+};
+
+app::AppGraph make_app(const std::string& name) {
+  if (name == "social-network") return app::social_network_app();
+  if (name == "video-conference") {
+    return app::video_conference_app({{1, 3}, {2, 3}, {3, 3}}, net::kbps(800));
+  }
+  return app::camera_pipeline_app();
+}
+
+void schedule_per_component(benchmark::State& state, const sched::Scheduler& sched,
+                            const std::string& app_name) {
+  Rig rig;
+  const app::AppGraph graph = make_app(app_name);
+  for (auto _ : state) {
+    auto result = sched.schedule(graph, rig.cluster, *rig.view);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError(result.error().c_str());
+  }
+  // "items" = components, so items/s inverts to the paper's per-component
+  // scheduling latency (Table 3).
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.component_count()));
+}
+
+void BM_K3s(benchmark::State& state, const std::string& app_name) {
+  schedule_per_component(state, sched::K3sScheduler(), app_name);
+}
+
+void BM_BassLongestPath(benchmark::State& state, const std::string& app_name) {
+  schedule_per_component(state, sched::BassScheduler(sched::Heuristic::kLongestPath),
+                         app_name);
+}
+
+BENCHMARK_CAPTURE(BM_K3s, social_network, std::string("social-network"));
+BENCHMARK_CAPTURE(BM_BassLongestPath, social_network, std::string("social-network"));
+BENCHMARK_CAPTURE(BM_K3s, video_conference, std::string("video-conference"));
+BENCHMARK_CAPTURE(BM_BassLongestPath, video_conference, std::string("video-conference"));
+BENCHMARK_CAPTURE(BM_K3s, camera, std::string("camera-pipeline"));
+BENCHMARK_CAPTURE(BM_BassLongestPath, camera, std::string("camera-pipeline"));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+#include "controller/migration_policy.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace bass::controller {
+
+bool edge_violates(const EdgeObservation& obs, const MigrationParams& params) {
+  if (obs.path_capacity <= 0) return true;  // partitioned or dead path
+
+  // Headroom is missing on the path when either signal says so:
+  //  * arithmetic (Algorithm 3's `link.bandwidth < dep.bandwidth +
+  //    headroom`): the cached capacity can no longer hold the profiled
+  //    requirement plus the spare fraction;
+  //  * observed: a probed headroom violation or passive usage leaving less
+  //    than headroom_frac of a link free (path_headroom_ok, fed by the
+  //    orchestrator from the monitor + TX counters).
+  const double usable =
+      static_cast<double>(obs.path_capacity) * (1.0 - params.headroom_frac);
+  const bool headroom_bad =
+      !obs.path_headroom_ok || usable < static_cast<double>(obs.required);
+  if (!headroom_bad) return false;
+
+  // Trigger (a1): the pair's traffic fills `utilization_threshold` of the
+  // path while headroom is gone.
+  const double utilization =
+      static_cast<double>(obs.measured) / static_cast<double>(obs.path_capacity);
+  if (utilization >= params.utilization_threshold) return true;
+
+  // Trigger (a2): the pair is starved. Against the static quota
+  // (Algorithm 3's goodput = used / allocated quota) no offered-traffic
+  // gate applies — the paper migrates pairs "whose bandwidth requirements
+  // are not being met, or likely to be not met" (§3.2.2), and a fully
+  // stalled pair offers nothing precisely because it is starved. Against
+  // the offered rate the gate is needed (0/0 is idle, not starved).
+  if (obs.required > 0) {
+    const double vs_quota =
+        static_cast<double>(obs.measured) / static_cast<double>(obs.required);
+    if (vs_quota <= params.goodput_floor) return true;
+  }
+  if (obs.offered > 0) {
+    const double vs_offered =
+        static_cast<double>(obs.measured) / static_cast<double>(obs.offered);
+    if (vs_offered <= params.goodput_floor) return true;
+  }
+  return false;
+}
+
+std::vector<app::ComponentId> select_migration_candidates(
+    const app::AppGraph& app, const std::vector<EdgeObservation>& observations,
+    const MigrationParams& params) {
+  // Collect violating components with the largest bandwidth requirement
+  // seen on any of their violating edges (the sort key in Algorithm 3).
+  std::unordered_map<app::ComponentId, net::Bps> worst_requirement;
+  for (const EdgeObservation& obs : observations) {
+    if (!edge_violates(obs, params)) continue;
+    // Both endpoints of a violating edge are candidates; the dedup pass
+    // below keeps only one of each communicating pair. Pinned components
+    // (client attachment points) can never move.
+    for (app::ComponentId c : {obs.from, obs.to}) {
+      if (app.component(c).pinned_node) continue;
+      auto [it, inserted] = worst_requirement.try_emplace(c, obs.required);
+      if (!inserted) it->second = std::max(it->second, obs.required);
+    }
+  }
+
+  std::vector<app::ComponentId> candidates;
+  candidates.reserve(worst_requirement.size());
+  for (const auto& [c, bw] : worst_requirement) candidates.push_back(c);
+  std::sort(candidates.begin(), candidates.end(),
+            [&](app::ComponentId a, app::ComponentId b) {
+              if (worst_requirement[a] != worst_requirement[b]) {
+                return worst_requirement[a] > worst_requirement[b];
+              }
+              return a < b;
+            });
+
+  if (!params.dedup_pairs) return candidates;  // ablation: no pair rule
+
+  // Dedup: walking heaviest-first, drop every direct dependency of a kept
+  // candidate so a communicating pair never migrates together.
+  std::set<app::ComponentId> removed;
+  std::set<app::ComponentId> kept;
+  for (app::ComponentId c : candidates) {
+    if (removed.count(c)) continue;
+    kept.insert(c);
+    for (const app::Edge& e : app.edges()) {
+      if (e.from == c && !kept.count(e.to)) removed.insert(e.to);
+      if (e.to == c && !kept.count(e.from)) removed.insert(e.from);
+    }
+  }
+
+  std::vector<app::ComponentId> final_candidates;
+  for (app::ComponentId c : candidates) {
+    if (!removed.count(c)) final_candidates.push_back(c);
+  }
+  return final_candidates;
+}
+
+bool CooldownTracker::should_migrate(app::ComponentId component, bool violating_now,
+                                     sim::Time now) {
+  if (!violating_now) {
+    first_violation_.erase(component);
+    return false;
+  }
+  const auto [it, inserted] = first_violation_.try_emplace(component, now);
+  if (now - it->second < params_.cooldown) return false;
+  const auto last = last_migration_.find(component);
+  if (last != last_migration_.end() && now - last->second < params_.min_migration_gap) {
+    return false;
+  }
+  return true;
+}
+
+void CooldownTracker::note_migration(app::ComponentId component, sim::Time now) {
+  last_migration_[component] = now;
+  first_violation_.erase(component);
+}
+
+}  // namespace bass::controller

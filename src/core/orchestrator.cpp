@@ -1,0 +1,472 @@
+#include "core/orchestrator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "sched/k3s_scheduler.h"
+#include "sched/rescheduler.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace bass::core {
+
+namespace {
+
+// Pinned zero-footprint pseudo-components (client attachment points) take
+// no node resources — they may sit on cordoned/client-only nodes.
+bool needs_resources(const app::Component& comp) {
+  return comp.cpu_milli > 0 || comp.memory_mb > 0;
+}
+
+}  // namespace
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kBassBfs: return "bass-bfs";
+    case SchedulerKind::kBassLongestPath: return "bass-longest-path";
+    case SchedulerKind::kBassAuto: return "bass-auto";
+    case SchedulerKind::kK3sDefault: return "k3s-default";
+  }
+  return "?";
+}
+
+Orchestrator::Orchestrator(sim::Simulation& sim, net::Network& network,
+                           cluster::ClusterState& cluster, OrchestratorConfig config)
+    : sim_(&sim), network_(&network), cluster_(&cluster), config_(config) {}
+
+Orchestrator::~Orchestrator() {
+  for (auto& d : deployments_) {
+    if (d->controller_tick != sim::kInvalidEvent) {
+      sim_->cancel_periodic(d->controller_tick);
+    }
+  }
+}
+
+Orchestrator::Deployment& Orchestrator::dep(DeploymentId id) {
+  return *deployments_.at(static_cast<std::size_t>(id));
+}
+
+const Orchestrator::Deployment& Orchestrator::dep(DeploymentId id) const {
+  return *deployments_.at(static_cast<std::size_t>(id));
+}
+
+std::unique_ptr<sched::NetworkView> Orchestrator::make_view() const {
+  if (monitor_ != nullptr) {
+    return std::make_unique<monitor::MonitorNetworkView>(*monitor_);
+  }
+  return std::make_unique<sched::LiveNetworkView>(*network_);
+}
+
+util::Expected<DeploymentId> Orchestrator::deploy(app::AppGraph app, SchedulerKind kind) {
+  const auto view = make_view();
+  std::unique_ptr<sched::Scheduler> scheduler;
+  switch (kind) {
+    case SchedulerKind::kBassBfs:
+      scheduler = std::make_unique<sched::BassScheduler>(sched::Heuristic::kBreadthFirst);
+      break;
+    case SchedulerKind::kBassLongestPath:
+      scheduler = std::make_unique<sched::BassScheduler>(sched::Heuristic::kLongestPath);
+      break;
+    case SchedulerKind::kBassAuto:
+      scheduler = std::make_unique<sched::BassScheduler>(sched::Heuristic::kAuto);
+      break;
+    case SchedulerKind::kK3sDefault:
+      scheduler = std::make_unique<sched::K3sScheduler>();
+      break;
+  }
+
+  auto result = scheduler->schedule(app, *cluster_, *view);
+  if (!result.ok()) return util::make_error(result.error());
+
+  auto d = std::make_unique<Deployment>();
+  d->app = std::move(app);
+  d->placement = result.take();
+  d->up.assign(static_cast<std::size_t>(d->app.component_count()), true);
+  for (const auto& [component, node] : d->placement) {
+    const auto& comp = d->app.component(component);
+    if (!needs_resources(comp)) continue;
+    const bool ok = cluster_->allocate(node, comp.cpu_milli, comp.memory_mb);
+    assert(ok && "scheduler produced an infeasible placement");
+    (void)ok;
+  }
+
+  const DeploymentId id = static_cast<DeploymentId>(deployments_.size());
+  deployments_.push_back(std::move(d));
+  util::log_info() << "deployed '" << deployments_.back()->app.name() << "' with "
+                   << scheduler_kind_name(kind);
+  return id;
+}
+
+util::Expected<DeploymentId> Orchestrator::deploy_with_placement(
+    app::AppGraph app, sched::Placement placement) {
+  std::string error;
+  if (!app.validate(&error)) return util::make_error(error);
+  for (app::ComponentId c = 0; c < app.component_count(); ++c) {
+    const auto& comp = app.component(c);
+    if (comp.pinned_node) placement[c] = *comp.pinned_node;
+    if (!placement.count(c)) {
+      return util::make_error("manual placement misses component '" + comp.name + "'");
+    }
+  }
+  // All-or-nothing resource reservation.
+  std::vector<std::pair<net::NodeId, app::ComponentId>> reserved;
+  for (const auto& [component, node] : placement) {
+    const auto& comp = app.component(component);
+    if (!needs_resources(comp)) continue;
+    if (!cluster_->allocate(node, comp.cpu_milli, comp.memory_mb)) {
+      for (const auto& [n, c] : reserved) {
+        const auto& rc = app.component(c);
+        cluster_->release(n, rc.cpu_milli, rc.memory_mb);
+      }
+      return util::make_error("node cannot fit component '" + comp.name + "'");
+    }
+    reserved.emplace_back(node, component);
+  }
+
+  auto d = std::make_unique<Deployment>();
+  d->app = std::move(app);
+  d->placement = std::move(placement);
+  d->up.assign(static_cast<std::size_t>(d->app.component_count()), true);
+  const DeploymentId id = static_cast<DeploymentId>(deployments_.size());
+  deployments_.push_back(std::move(d));
+  return id;
+}
+
+const app::AppGraph& Orchestrator::app(DeploymentId id) const { return dep(id).app; }
+
+const sched::Placement& Orchestrator::placement(DeploymentId id) const {
+  return dep(id).placement;
+}
+
+net::NodeId Orchestrator::node_of(DeploymentId id, app::ComponentId component) const {
+  return sched::node_of(dep(id).placement, component);
+}
+
+bool Orchestrator::is_up(DeploymentId id, app::ComponentId component) const {
+  return dep(id).up.at(static_cast<std::size_t>(component));
+}
+
+void Orchestrator::add_listener(DeploymentId id, DeploymentListener* listener) {
+  dep(id).listeners.push_back(listener);
+}
+
+monitor::TrafficStats& Orchestrator::traffic_stats(DeploymentId id) {
+  return dep(id).stats;
+}
+
+bool Orchestrator::update_edge_bandwidth(DeploymentId id, app::ComponentId from,
+                                         app::ComponentId to, net::Bps bandwidth) {
+  return dep(id).app.set_edge_bandwidth(from, to, bandwidth);
+}
+
+void Orchestrator::enable_migration(DeploymentId id, controller::MigrationParams params) {
+  Deployment& d = dep(id);
+  if (d.migration_enabled) disable_migration(id);
+  d.migration_enabled = true;
+  d.params = params;
+  d.cooldown = std::make_unique<controller::CooldownTracker>(params);
+  d.controller_tick = sim_->schedule_periodic(
+      params.evaluation_interval, [this, id] { controller_evaluate(id); });
+}
+
+void Orchestrator::disable_migration(DeploymentId id) {
+  Deployment& d = dep(id);
+  if (!d.migration_enabled) return;
+  d.migration_enabled = false;
+  sim_->cancel_periodic(d.controller_tick);
+  d.controller_tick = sim::kInvalidEvent;
+  d.cooldown.reset();
+}
+
+const std::vector<ControllerRound>& Orchestrator::controller_rounds(DeploymentId id) const {
+  return dep(id).rounds;
+}
+
+void Orchestrator::controller_evaluate(DeploymentId id) {
+  Deployment& d = dep(id);
+  const auto view = make_view();
+  const sim::Time now = sim_->now();
+
+  // Observations for every mesh-crossing edge between live components.
+  std::vector<controller::EdgeObservation> observations;
+  std::vector<std::pair<net::NodeId, net::NodeId>> endpoints;  // parallel to obs
+  for (const app::Edge& e : d.app.edges()) {
+    if (!is_up(id, e.from) || !is_up(id, e.to)) continue;
+    const net::NodeId a = node_of(id, e.from);
+    const net::NodeId b = node_of(id, e.to);
+    const auto window = d.stats.take_window(e.from, e.to, now);
+    if (a == b) continue;  // colocated pairs never violate
+    controller::EdgeObservation obs;
+    obs.from = e.from;
+    obs.to = e.to;
+    obs.required = e.bandwidth;
+    obs.measured = window.delivered;
+    obs.offered = window.offered;
+    obs.path_capacity = view->path_capacity(a, b);
+    observations.push_back(obs);
+    endpoints.emplace_back(a, b);
+  }
+
+  // Headroom state per path, from two passive signals (§4.2/§4.3):
+  //  * probed — the net-monitor could not push its spare-capacity probe
+  //    through ("when a change is detected in the available headroom"), and
+  //  * usage — the deployment's own measured traffic leaves less than
+  //    headroom_frac of a link's capacity free ("the component uses the
+  //    link to the extent that the headroom on the link shrinks even
+  //    without capacity change on the link"). Pair traffic flows both ways
+  //    (requests and responses), so it is charged to both directions.
+  std::vector<double> link_usage(static_cast<std::size_t>(view->link_count()), 0.0);
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    const auto [a, b] = endpoints[i];
+    for (net::LinkId l : view->path(a, b)) {
+      link_usage[static_cast<std::size_t>(l)] += static_cast<double>(observations[i].measured);
+    }
+    for (net::LinkId l : view->path(b, a)) {
+      link_usage[static_cast<std::size_t>(l)] += static_cast<double>(observations[i].measured);
+    }
+  }
+  auto link_headroom_ok = [&](net::LinkId l) {
+    if (monitor_ != nullptr && !monitor_->headroom_ok(l)) return false;
+    const double capacity = static_cast<double>(view->link_capacity(l));
+    return link_usage[static_cast<std::size_t>(l)] <=
+           capacity * (1.0 - d.params.headroom_frac);
+  };
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    const auto [a, b] = endpoints[i];
+    for (net::LinkId l : view->path(a, b)) {
+      if (!link_headroom_ok(l)) {
+        observations[i].path_headroom_ok = false;
+        break;
+      }
+    }
+    util::log_debug() << "obs t=" << sim::to_seconds(now) << " "
+                      << d.app.component(observations[i].from).name << "->"
+                      << d.app.component(observations[i].to).name
+                      << " req=" << observations[i].required
+                      << " meas=" << observations[i].measured
+                      << " off=" << observations[i].offered
+                      << " cap=" << observations[i].path_capacity
+                      << " hdroom_ok=" << observations[i].path_headroom_ok
+                      << " violates="
+                      << controller::edge_violates(observations[i], d.params);
+  }
+
+  // Pre-dedup violating component set (Table 1's "components exceeding
+  // link utilization quota") and the violating-pair adjacency, used below
+  // to substitute a partner when a chosen candidate has nowhere to go.
+  std::set<app::ComponentId> violating;
+  std::vector<std::pair<app::ComponentId, app::ComponentId>> violating_pairs;
+  for (const auto& obs : observations) {
+    if (!controller::edge_violates(obs, d.params)) continue;
+    if (!d.app.component(obs.from).pinned_node) violating.insert(obs.from);
+    if (!d.app.component(obs.to).pinned_node) violating.insert(obs.to);
+    violating_pairs.emplace_back(obs.from, obs.to);
+  }
+
+  const auto candidates =
+      controller::select_migration_candidates(d.app, observations, d.params);
+
+  // Cooldown state tracks *violation* persistence (a component deduped
+  // away this round is still violating — its timer must keep running so it
+  // can substitute for an unplaceable partner).
+  std::set<app::ComponentId> eligible;
+  for (app::ComponentId c = 0; c < d.app.component_count(); ++c) {
+    if (d.cooldown->should_migrate(c, violating.count(c) != 0, now)) {
+      eligible.insert(c);
+    }
+  }
+  // Execute in candidate (heaviest-first) order, capped per round.
+  std::vector<app::ComponentId> cleared;
+  for (app::ComponentId c : candidates) {
+    if (eligible.count(c)) cleared.push_back(c);
+  }
+
+  std::set<app::ComponentId> moved_this_round;
+  int started = 0;
+  for (app::ComponentId c : cleared) {
+    if (d.params.max_migrations_per_round > 0 &&
+        started >= d.params.max_migrations_per_round) {
+      break;
+    }
+    if (moved_this_round.count(c)) continue;
+    app::ComponentId mover = c;
+    auto target = sched::pick_migration_target(d.app, d.placement, c, *cluster_, *view);
+    if (!target) {
+      // The pair rule held this candidate's partners back; moving a partner
+      // *instead* (never in addition) is allowed and often feasible when
+      // the primary is not (§3.2.2 only forbids moving both).
+      for (const auto& [from, to] : violating_pairs) {
+        if (from != c && to != c) continue;
+        const app::ComponentId partner = (from == c) ? to : from;
+        if (partner == c || moved_this_round.count(partner)) continue;
+        if (d.app.component(partner).pinned_node) continue;
+        if (!eligible.count(partner)) continue;
+        target = sched::pick_migration_target(d.app, d.placement, partner, *cluster_,
+                                              *view);
+        if (target) {
+          mover = partner;
+          break;
+        }
+      }
+    }
+    if (!target) {
+      util::log_warn() << "no feasible migration target for '"
+                       << d.app.component(c).name << "' or its partners";
+      continue;
+    }
+    d.cooldown->note_migration(mover, now);
+    if (migrate(id, mover, *target)) {
+      ++started;
+      moved_this_round.insert(mover);
+      // The pair rule: the partner(s) of a moved component stay put.
+      for (const auto& [from, to] : violating_pairs) {
+        if (from == mover) moved_this_round.insert(to);
+        if (to == mover) moved_this_round.insert(from);
+      }
+    }
+  }
+
+  if (!violating.empty() || started > 0) {
+    d.rounds.push_back({now, static_cast<int>(violating.size()), started});
+  }
+}
+
+bool Orchestrator::migrate(DeploymentId id, app::ComponentId component,
+                           net::NodeId target) {
+  Deployment& d = dep(id);
+  if (!is_up(id, component)) return false;
+  if (d.app.component(component).pinned_node) return false;
+  if (target == node_of(id, component)) return false;
+  execute_move(id, component, target);
+  return true;
+}
+
+int Orchestrator::drain_node(net::NodeId node) {
+  cluster_->set_schedulable(node, false);
+  const auto view = make_view();
+  int started = 0;
+  for (DeploymentId id = 0; id < static_cast<DeploymentId>(deployments_.size()); ++id) {
+    Deployment& d = dep(id);
+    for (app::ComponentId c = 0; c < d.app.component_count(); ++c) {
+      if (!is_up(id, c) || node_of(id, c) != node) continue;
+      if (d.app.component(c).pinned_node) {
+        util::log_warn() << "drain: '" << d.app.component(c).name
+                         << "' is pinned to node" << node << " and cannot move";
+        continue;
+      }
+      const auto target = sched::pick_migration_target(d.app, d.placement, c,
+                                                       *cluster_, *view);
+      if (!target) {
+        util::log_warn() << "drain: no target for '" << d.app.component(c).name
+                         << "'";
+        continue;
+      }
+      if (migrate(id, c, *target)) ++started;
+    }
+  }
+  return started;
+}
+
+void Orchestrator::fail_node(net::NodeId node, sim::Duration detection_delay) {
+  cluster_->set_schedulable(node, false);
+  int dropped = 0;
+  for (DeploymentId id = 0; id < static_cast<DeploymentId>(deployments_.size()); ++id) {
+    Deployment& d = dep(id);
+    for (app::ComponentId c = 0; c < d.app.component_count(); ++c) {
+      if (!is_up(id, c) || node_of(id, c) != node) continue;
+      const auto& comp = d.app.component(c);
+      d.up[static_cast<std::size_t>(c)] = false;
+      if (comp.cpu_milli > 0 || comp.memory_mb > 0) {
+        cluster_->release(node, comp.cpu_milli, comp.memory_mb);
+      }
+      for (DeploymentListener* l : d.listeners) l->on_component_down(c);
+      ++dropped;
+      // Recovery after detection + cold restart; retries internally while
+      // the cluster is too full.
+      sim_->schedule_after(detection_delay + config_.restart_duration,
+                           [this, id, c, node] { recover_component(id, c, node); });
+    }
+  }
+  util::log_info() << "node" << node << " failed; " << dropped << " components dropped";
+}
+
+void Orchestrator::recover_component(DeploymentId id, app::ComponentId component,
+                                     net::NodeId failed_node) {
+  Deployment& d = dep(id);
+  const auto& comp = d.app.component(component);
+  if (comp.pinned_node) {
+    util::log_warn() << "'" << comp.name << "' is pinned to failed node"
+                     << failed_node;
+    return;
+  }
+  const auto view = make_view();
+  const auto target =
+      sched::pick_migration_target(d.app, d.placement, component, *cluster_, *view);
+  if (target && cluster_->allocate(*target, comp.cpu_milli, comp.memory_mb)) {
+    d.placement[component] = *target;
+    d.up[static_cast<std::size_t>(component)] = true;
+    migrations_.push_back({sim_->now(), id, component, failed_node, *target});
+    for (DeploymentListener* l : d.listeners) l->on_component_up(component, *target);
+    return;
+  }
+  util::log_warn() << "no surviving node for '" << comp.name << "'; retrying";
+  sim_->schedule_after(sim::seconds(30), [this, id, component, failed_node] {
+    recover_component(id, component, failed_node);
+  });
+}
+
+void Orchestrator::restart_component(DeploymentId id, app::ComponentId component) {
+  if (!is_up(id, component)) return;
+  execute_move(id, component, node_of(id, component));
+}
+
+void Orchestrator::execute_move(DeploymentId id, app::ComponentId component,
+                                net::NodeId target) {
+  Deployment& d = dep(id);
+  const net::NodeId from = node_of(id, component);
+  const auto& comp = d.app.component(component);
+
+  d.up[static_cast<std::size_t>(component)] = false;
+  cluster_->release(from, comp.cpu_milli, comp.memory_mb);
+  for (DeploymentListener* l : d.listeners) l->on_component_down(component);
+  util::log_info() << "moving '" << comp.name << "' node" << from << " -> node"
+                   << target << " (restart " << sim::to_seconds(config_.restart_duration)
+                   << " s, state " << comp.state_mb << " MiB)";
+
+  auto bring_up = [this, id, component, from, target] {
+    Deployment& d2 = dep(id);
+    const auto& c2 = d2.app.component(component);
+    net::NodeId final_target = target;
+    if (!cluster_->allocate(final_target, c2.cpu_milli, c2.memory_mb)) {
+      // The target filled up while we were moving; fall back to the old
+      // node, which we know fit the component a restart ago.
+      final_target = from;
+      const bool ok = cluster_->allocate(final_target, c2.cpu_milli, c2.memory_mb);
+      assert(ok && "old node no longer fits its own component");
+      (void)ok;
+    }
+    d2.placement[component] = final_target;
+    d2.up[static_cast<std::size_t>(component)] = true;
+    migrations_.push_back({sim_->now(), id, component, from, final_target});
+    for (DeploymentListener* l : d2.listeners) {
+      l->on_component_up(component, final_target);
+    }
+  };
+
+  // Stateful components ship their checkpoint across the mesh first (§8);
+  // the restart timer runs only once the state has landed. The transfer is
+  // real traffic, so migrating a fat component loads the very links the
+  // migration is trying to relieve.
+  if (comp.state_mb > 0 && target != from) {
+    network_->start_transfer(from, target, comp.state_mb * 1024 * 1024,
+                             [this, bring_up = std::move(bring_up)] {
+                               sim_->schedule_after(config_.restart_duration,
+                                                    bring_up);
+                             });
+  } else {
+    sim_->schedule_after(config_.restart_duration, std::move(bring_up));
+  }
+}
+
+}  // namespace bass::core

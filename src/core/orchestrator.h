@@ -1,0 +1,172 @@
+// The BASS orchestrator: the "k3s server + BASS extensions" of Fig. 7.
+// It owns deployments (app DAG + current placement + component up/down
+// state), schedules with any of the three schedulers, and — when migration
+// is enabled — runs the bandwidth-controller loop: read passive traffic
+// stats and the net-monitor's capacity cache, apply Algorithm 3, pick a
+// target node, and execute the move with a realistic restart outage.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "app/app_graph.h"
+#include "cluster/cluster.h"
+#include "controller/migration_policy.h"
+#include "monitor/net_monitor.h"
+#include "monitor/traffic_stats.h"
+#include "net/network.h"
+#include "sched/bass_scheduler.h"
+#include "sched/placement.h"
+#include "sim/simulation.h"
+#include "util/expected.h"
+
+namespace bass::core {
+
+enum class SchedulerKind { kBassBfs, kBassLongestPath, kBassAuto, kK3sDefault };
+
+const char* scheduler_kind_name(SchedulerKind kind);
+
+struct OrchestratorConfig {
+  // Outage while a component is rescheduled and restarted — ~20 s for the
+  // mesh experiments (§6.3.2), ~30 s in the microbenchmarks (§6.2.3).
+  sim::Duration restart_duration = sim::seconds(20);
+};
+
+using DeploymentId = int;
+constexpr DeploymentId kInvalidDeployment = -1;
+
+// Workload engines implement this to follow their components around.
+class DeploymentListener {
+ public:
+  virtual ~DeploymentListener() = default;
+  virtual void on_component_down(app::ComponentId component) { (void)component; }
+  virtual void on_component_up(app::ComponentId component, net::NodeId node) {
+    (void)component;
+    (void)node;
+  }
+};
+
+struct MigrationEvent {
+  sim::Time at;  // when the move completed (component back up)
+  DeploymentId deployment;
+  app::ComponentId component;
+  net::NodeId from;
+  net::NodeId to;
+};
+
+// One controller evaluation round (Table 1's rows).
+struct ControllerRound {
+  sim::Time at;
+  int violating_components;  // exceeding their link utilization quota
+  int migrations_started;
+};
+
+class Orchestrator {
+ public:
+  Orchestrator(sim::Simulation& sim, net::Network& network,
+               cluster::ClusterState& cluster, OrchestratorConfig config = {});
+  ~Orchestrator();
+  Orchestrator(const Orchestrator&) = delete;
+  Orchestrator& operator=(const Orchestrator&) = delete;
+
+  // With a monitor attached, scheduling and the controller use its probe
+  // cache (the real BASS deployment); without one they fall back to live
+  // topology capacities (useful for oracle experiments and tests).
+  void attach_monitor(monitor::NetMonitor* monitor) { monitor_ = monitor; }
+
+  // ---- Deployment lifecycle ----
+  util::Expected<DeploymentId> deploy(app::AppGraph app, SchedulerKind kind);
+
+  // Deploys with a caller-chosen placement (experiments reproducing the
+  // paper's fixed initial deployments, e.g. "Pion server on node 2").
+  // Validates resource fit; does NOT check bandwidth feasibility — that is
+  // the experimenter's prerogative.
+  util::Expected<DeploymentId> deploy_with_placement(app::AppGraph app,
+                                                     sched::Placement placement);
+
+  const app::AppGraph& app(DeploymentId id) const;
+  const sched::Placement& placement(DeploymentId id) const;
+  net::NodeId node_of(DeploymentId id, app::ComponentId component) const;
+  bool is_up(DeploymentId id, app::ComponentId component) const;
+  void add_listener(DeploymentId id, DeploymentListener* listener);
+
+  // Passive per-pair traffic counters for this deployment; workload engines
+  // record into it, the controller reads from it.
+  monitor::TrafficStats& traffic_stats(DeploymentId id);
+
+  // Rewrites the profiled bandwidth requirement of one deployed edge — the
+  // online-profiling extension (§8) feeds re-measured requirements back so
+  // the controller and rescheduler reason about reality instead of the
+  // developer's offline estimate. Returns false if no such edge exists.
+  bool update_edge_bandwidth(DeploymentId id, app::ComponentId from,
+                             app::ComponentId to, net::Bps bandwidth);
+
+  // ---- Migration ----
+  void enable_migration(DeploymentId id, controller::MigrationParams params);
+  void disable_migration(DeploymentId id);
+
+  // Manual move (used by experiments); true if the migration started.
+  bool migrate(DeploymentId id, app::ComponentId component, net::NodeId target);
+
+  // kubectl-drain for the mesh: cordons `node` and migrates every live,
+  // unpinned component hosted there (across all deployments) to its best
+  // alternative. Community meshes lose nodes to power and weather; drain
+  // is how an operator empties one gracefully before it goes. Returns the
+  // number of migrations started (pinned or unplaceable components stay
+  // and are logged).
+  int drain_node(net::NodeId node);
+
+  // Abrupt *compute* failure: the node is cordoned, every component it
+  // hosted drops instantly (no graceful handoff, checkpoints on the dead
+  // node are lost), and after `detection_delay` the orchestrator cold-
+  // restarts each one on a surviving node, retrying periodically while the
+  // cluster is too full. The node's radios keep relaying (the paper scopes
+  // out network partitions, §3.1) — this models the common mesh failure of
+  // a dead compute board behind a live router.
+  void fail_node(net::NodeId node, sim::Duration detection_delay = sim::seconds(10));
+  // Down/up in place — the Fig. 14(a) restart-overhead experiment.
+  void restart_component(DeploymentId id, app::ComponentId component);
+
+  const std::vector<MigrationEvent>& migration_events() const { return migrations_; }
+  const std::vector<ControllerRound>& controller_rounds(DeploymentId id) const;
+
+  sim::Simulation& simulation() { return *sim_; }
+  net::Network& network() { return *network_; }
+  cluster::ClusterState& cluster() { return *cluster_; }
+
+ private:
+  struct Deployment {
+    app::AppGraph app{"unset"};
+    sched::Placement placement;
+    std::vector<bool> up;
+    std::vector<DeploymentListener*> listeners;
+    monitor::TrafficStats stats;
+    // Controller state (valid while migration is enabled):
+    bool migration_enabled = false;
+    controller::MigrationParams params;
+    std::unique_ptr<controller::CooldownTracker> cooldown;
+    sim::EventId controller_tick = sim::kInvalidEvent;
+    std::vector<ControllerRound> rounds;
+  };
+
+  Deployment& dep(DeploymentId id);
+  const Deployment& dep(DeploymentId id) const;
+  // The scheduler's view of the mesh: monitor cache when attached.
+  std::unique_ptr<sched::NetworkView> make_view() const;
+  void controller_evaluate(DeploymentId id);
+  // Executes a move; `target` may equal the current node (pure restart).
+  void execute_move(DeploymentId id, app::ComponentId component, net::NodeId target);
+  // Post-failure placement retry loop (see fail_node).
+  void recover_component(DeploymentId id, app::ComponentId component,
+                         net::NodeId failed_node);
+
+  sim::Simulation* sim_;
+  net::Network* network_;
+  cluster::ClusterState* cluster_;
+  monitor::NetMonitor* monitor_ = nullptr;
+  OrchestratorConfig config_;
+  std::vector<std::unique_ptr<Deployment>> deployments_;
+  std::vector<MigrationEvent> migrations_;
+};
+
+}  // namespace bass::core

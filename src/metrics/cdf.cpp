@@ -1,0 +1,34 @@
+#include "metrics/cdf.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace bass::metrics {
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::value_at(double p) const {
+  return util::percentile_sorted(sorted_, p * 100.0);
+}
+
+double Cdf::probability_of(double value) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), value);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<Cdf::Point> Cdf::points(std::size_t n) const {
+  std::vector<Point> out;
+  if (sorted_.empty() || n == 0) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = (n == 1) ? 1.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    out.push_back({value_at(p), p});
+  }
+  return out;
+}
+
+}  // namespace bass::metrics

@@ -1,0 +1,34 @@
+// Empirical CDF over a sample set (Figs. 14(a), 14(b)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bass::metrics {
+
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  bool empty() const { return sorted_.empty(); }
+
+  // Value at cumulative probability p in [0,1].
+  double value_at(double p) const;
+
+  // Cumulative probability of observing <= value.
+  double probability_of(double value) const;
+
+  // Evenly spaced (value, probability) points for plotting/printing.
+  struct Point {
+    double value;
+    double probability;
+  };
+  std::vector<Point> points(std::size_t n) const;
+
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace bass::metrics

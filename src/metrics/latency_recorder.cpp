@@ -1,0 +1,25 @@
+#include "metrics/latency_recorder.h"
+
+#include "util/stats.h"
+
+namespace bass::metrics {
+
+void LatencyRecorder::record(sim::Time at, sim::Duration latency) {
+  const double ms = sim::to_millis(latency);
+  latencies_ms_.push_back(ms);
+  series_.record(at, ms);
+}
+
+double LatencyRecorder::mean_ms() const { return util::mean(latencies_ms_); }
+
+double LatencyRecorder::median_ms() const { return util::percentile(latencies_ms_, 50.0); }
+
+double LatencyRecorder::p99_ms() const { return util::percentile(latencies_ms_, 99.0); }
+
+double LatencyRecorder::percentile_ms(double q) const {
+  return util::percentile(latencies_ms_, q);
+}
+
+double LatencyRecorder::max_ms() const { return util::max_of(latencies_ms_); }
+
+}  // namespace bass::metrics

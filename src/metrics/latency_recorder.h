@@ -1,0 +1,35 @@
+// Latency sample sink with the summary statistics the paper reports:
+// mean, median, p99, and full sample access for CDFs.
+#pragma once
+
+#include <vector>
+
+#include "metrics/time_series.h"
+#include "sim/time.h"
+
+namespace bass::metrics {
+
+class LatencyRecorder {
+ public:
+  // Records one completed-request latency observed at time `at`.
+  void record(sim::Time at, sim::Duration latency);
+
+  std::size_t count() const { return latencies_ms_.size(); }
+  double mean_ms() const;
+  double median_ms() const;
+  double p99_ms() const;
+  double percentile_ms(double q) const;
+  double max_ms() const;
+
+  // All latencies, in milliseconds, in completion order.
+  const std::vector<double>& latencies_ms() const { return latencies_ms_; }
+
+  // Latency-vs-completion-time series (ms), for per-second plots.
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  std::vector<double> latencies_ms_;
+  TimeSeries series_;
+};
+
+}  // namespace bass::metrics

@@ -1,0 +1,45 @@
+// Timestamped sample series — the shape behind every per-second plot in the
+// paper (Figs. 2, 5, 8, 12, 13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bass::metrics {
+
+struct Sample {
+  sim::Time at;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  void record(sim::Time at, double value) { samples_.push_back({at, value}); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+
+  std::vector<double> values() const;
+
+  // Mean of values with timestamps in [from, to).
+  double mean_in(sim::Time from, sim::Time to) const;
+
+  // Rolling mean over a trailing window, sampled at each input timestamp —
+  // reproduces the paper's "10-second rolling mean" presentation (Fig. 2).
+  TimeSeries rolling_mean(sim::Duration window) const;
+
+  // Re-buckets into fixed-width bins [0,bin), [bin,2bin)... averaging values;
+  // empty bins are skipped. Used for "average latency at every second" plots.
+  TimeSeries binned_mean(sim::Duration bin) const;
+
+  // Writes "t_seconds,value" rows to a CSV file. Returns false on I/O error.
+  bool write_csv(const std::string& path, const std::string& value_name) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace bass::metrics

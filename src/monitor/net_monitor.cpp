@@ -1,0 +1,176 @@
+#include "monitor/net_monitor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bass::monitor {
+
+namespace {
+// Probe traffic is tagged so delivered bytes can be read back per probe.
+constexpr net::Tag kProbeTagBase = 0xBA55'0000'0000'0000ULL;
+}  // namespace
+
+NetMonitor::NetMonitor(net::Network& network, MonitorConfig config)
+    : network_(&network),
+      config_(config),
+      links_(static_cast<std::size_t>(network.topology().link_count())),
+      next_probe_tag_(kProbeTagBase) {
+  // Until the first probe round, fall back to nominal capacities (the
+  // operator's initial link inventory).
+  for (int l = 0; l < network.topology().link_count(); ++l) {
+    links_[static_cast<std::size_t>(l)].cached_capacity = network.topology().link(l).capacity;
+  }
+}
+
+NetMonitor::~NetMonitor() { stop(); }
+
+void NetMonitor::start() {
+  if (started_) return;
+  started_ = true;
+  // Startup round: flood every directed link in parallel (§4.2 "when the
+  // system starts up ... flooding each link with packets").
+  for (int l = 0; l < network_->topology().link_count(); ++l) {
+    full_probe(l);
+  }
+  periodic_ = network_->simulation().schedule_periodic(
+      config_.probe_interval, [this] { run_headroom_round(); });
+  if (config_.full_refresh_interval > 0) {
+    refresh_ = network_->simulation().schedule_periodic(
+        config_.full_refresh_interval, [this] {
+          for (int l = 0; l < network_->topology().link_count(); ++l) {
+            full_probe(l);
+          }
+        });
+  }
+}
+
+void NetMonitor::stop() {
+  if (!started_) return;
+  started_ = false;
+  if (periodic_ != sim::kInvalidEvent) {
+    network_->simulation().cancel_periodic(periodic_);
+    periodic_ = sim::kInvalidEvent;
+  }
+  if (refresh_ != sim::kInvalidEvent) {
+    network_->simulation().cancel_periodic(refresh_);
+    refresh_ = sim::kInvalidEvent;
+  }
+}
+
+net::Bps NetMonitor::cached_capacity(net::LinkId link) const {
+  return links_.at(static_cast<std::size_t>(link)).cached_capacity;
+}
+
+net::Bps NetMonitor::cached_path_capacity(net::NodeId src, net::NodeId dst) const {
+  if (src == dst) return net::kUnlimitedRate;
+  const auto& path = network_->routing().path(src, dst);
+  if (path.empty()) return 0;
+  net::Bps bottleneck = net::kUnlimitedRate;
+  for (net::LinkId l : path) bottleneck = std::min(bottleneck, cached_capacity(l));
+  return bottleneck;
+}
+
+bool NetMonitor::headroom_ok(net::LinkId link) const {
+  return links_.at(static_cast<std::size_t>(link)).headroom_ok;
+}
+
+void NetMonitor::full_probe(net::LinkId link, std::function<void(net::Bps)> done) {
+  ++full_probes_;
+  launch_probe(link, net::kUnlimitedRate, /*is_full=*/true, std::move(done));
+}
+
+void NetMonitor::run_headroom_round() {
+  for (int l = 0; l < network_->topology().link_count(); ++l) {
+    const LinkState& state = links_[static_cast<std::size_t>(l)];
+    if (state.probing) continue;  // don't stack probes on one link
+    if (config_.always_full_probe) {
+      full_probe(l);
+      continue;
+    }
+    const net::Bps demand = static_cast<net::Bps>(
+        static_cast<double>(state.cached_capacity) * config_.headroom_frac);
+    if (demand <= 0) continue;
+    ++headroom_probes_;
+    launch_probe(l, demand, /*is_full=*/false, {});
+  }
+}
+
+void NetMonitor::launch_probe(net::LinkId link, net::Bps demand, bool is_full,
+                              std::function<void(net::Bps)> done) {
+  LinkState& state = links_[static_cast<std::size_t>(link)];
+  if (state.probing) {
+    if (done) done(state.cached_capacity);
+    return;
+  }
+  state.probing = true;
+
+  const auto& l = network_->topology().link(link);
+  const net::Tag tag = next_probe_tag_++;
+  // Concurrent application traffic before the probe perturbs the link
+  // (from the per-node TX counters — the eBPF metric of §5).
+  const net::Bps usage_before = network_->link_allocated(link);
+  const net::StreamId stream = network_->open_stream(l.src, l.dst, demand, tag);
+
+  network_->simulation().schedule_after(
+      config_.probe_duration,
+      [this, link, demand, is_full, tag, stream, usage_before,
+       done = std::move(done)] {
+        // Competing application traffic on the link while the probe ran,
+        // read from the node-pair TX counters (the eBPF metric): the
+        // capacity estimate is probe goodput + concurrent usage.
+        const net::Bps others =
+            std::max<net::Bps>(network_->link_allocated(link) -
+                                   network_->stream_rate(stream),
+                               0);
+        network_->close_stream(stream);
+        const std::int64_t delivered = network_->take_tag_bytes(tag);
+        probe_bytes_ += delivered;
+        const net::Bps measured = static_cast<net::Bps>(
+            static_cast<double>(delivered) * 8e6 /
+            static_cast<double>(config_.probe_duration));
+
+        LinkState& state = links_[static_cast<std::size_t>(link)];
+        state.probing = false;
+        if (is_full) {
+          // Note: a full probe refreshes the capacity estimate but does
+          // NOT clear a standing headroom violation — only a succeeding
+          // headroom probe does, otherwise the violation signal would be
+          // erased by the very probe it triggered.
+          state.cached_capacity = measured + others;
+          util::log_debug() << "full probe link " << link << " -> "
+                            << state.cached_capacity << " bps";
+        } else {
+          const bool delivered_in_full =
+              static_cast<double>(measured) >=
+              static_cast<double>(demand) * config_.violation_ratio;
+          // Displacement: if the app's concurrent rate shrank by more than
+          // measurement noise while the probe ran, the probe's bytes were
+          // taken from the application, not from spare capacity.
+          const double tolerance =
+              std::max(static_cast<double>(usage_before) * 0.05, 100e3);
+          const bool displaced =
+              static_cast<double>(others) <
+              static_cast<double>(usage_before) - tolerance;
+          const bool ok = delivered_in_full && !displaced;
+          state.headroom_ok = ok;
+          if (!ok) {
+            util::log_debug() << "headroom violation on link " << link
+                              << " delivered " << measured << " of " << demand;
+            if (on_violation_) on_violation_(link, measured);
+            if (config_.full_probe_on_violation) full_probe(link);
+          }
+        }
+        if (done) done(state.cached_capacity);
+      });
+}
+
+net::Bps MonitorNetworkView::node_link_capacity(net::NodeId node) const {
+  net::Bps total = 0;
+  for (net::LinkId l : monitor_->network().topology().out_links(node)) {
+    total += monitor_->cached_capacity(l);
+  }
+  return total;
+}
+
+}  // namespace bass::monitor

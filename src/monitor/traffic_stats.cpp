@@ -1,0 +1,53 @@
+#include "monitor/traffic_stats.h"
+
+namespace bass::monitor {
+
+namespace {
+
+net::Bps rate_of(std::int64_t bytes, sim::Duration window) {
+  if (window <= 0) return 0;
+  return static_cast<net::Bps>(static_cast<double>(bytes) * 8e6 /
+                               static_cast<double>(window));
+}
+
+}  // namespace
+
+void TrafficStats::record(app::ComponentId from, app::ComponentId to, std::int64_t bytes) {
+  PairStats& p = pairs_[key(from, to)];
+  p.window_bytes += bytes;
+  p.total_bytes += bytes;
+}
+
+void TrafficStats::record_offered(app::ComponentId from, app::ComponentId to,
+                                  std::int64_t bytes) {
+  pairs_[key(from, to)].window_offered += bytes;
+}
+
+std::int64_t TrafficStats::total_bytes(app::ComponentId from, app::ComponentId to) const {
+  const auto it = pairs_.find(key(from, to));
+  return it == pairs_.end() ? 0 : it->second.total_bytes;
+}
+
+TrafficStats::WindowRates TrafficStats::take_window(app::ComponentId from,
+                                                    app::ComponentId to, sim::Time now) {
+  PairStats& p = pairs_[key(from, to)];
+  WindowRates rates{rate_of(p.window_bytes, now - p.window_start),
+                    rate_of(p.window_offered, now - p.window_start)};
+  p.window_bytes = 0;
+  p.window_offered = 0;
+  p.window_start = now;
+  return rates;
+}
+
+net::Bps TrafficStats::take_rate(app::ComponentId from, app::ComponentId to, sim::Time now) {
+  return take_window(from, to, now).delivered;
+}
+
+net::Bps TrafficStats::peek_rate(app::ComponentId from, app::ComponentId to,
+                                 sim::Time now) const {
+  const auto it = pairs_.find(key(from, to));
+  if (it == pairs_.end()) return 0;
+  return rate_of(it->second.window_bytes, now - it->second.window_start);
+}
+
+}  // namespace bass::monitor

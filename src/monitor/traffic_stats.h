@@ -1,0 +1,57 @@
+// Passive per-component-pair traffic accounting — the paper's "TX/RX bytes
+// between application components" metric (gathered there by an Istio
+// sidecar + Prometheus; here the workload engines report delivered bytes as
+// transfers and stream samples complete).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "app/app_graph.h"
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace bass::monitor {
+
+class TrafficStats {
+ public:
+  // Adds `bytes` *delivered* from `from` to `to` (either direction of an
+  // app edge is recorded under that directed pair).
+  void record(app::ComponentId from, app::ComponentId to, std::int64_t bytes);
+
+  // Adds `bytes` *offered* (handed to the network, whether or not it has
+  // arrived yet). delivered/offered is the pair's goodput: ~1 when the
+  // network keeps up, << 1 when the link starves the pair (§3.2.2's second
+  // migration trigger).
+  void record_offered(app::ComponentId from, app::ComponentId to, std::int64_t bytes);
+
+  // Total delivered bytes for a pair since construction.
+  std::int64_t total_bytes(app::ComponentId from, app::ComponentId to) const;
+
+  struct WindowRates {
+    net::Bps delivered = 0;
+    net::Bps offered = 0;
+  };
+  // Average rates over the window since the pair's last take; resets it.
+  WindowRates take_window(app::ComponentId from, app::ComponentId to, sim::Time now);
+
+  // Convenience: take_window().delivered.
+  net::Bps take_rate(app::ComponentId from, app::ComponentId to, sim::Time now);
+
+  // Non-destructive delivered-rate peek.
+  net::Bps peek_rate(app::ComponentId from, app::ComponentId to, sim::Time now) const;
+
+ private:
+  struct PairStats {
+    std::int64_t window_bytes = 0;
+    std::int64_t window_offered = 0;
+    std::int64_t total_bytes = 0;
+    sim::Time window_start = 0;
+  };
+  static std::int64_t key(app::ComponentId from, app::ComponentId to) {
+    return (static_cast<std::int64_t>(from) << 32) | static_cast<std::uint32_t>(to);
+  }
+  std::unordered_map<std::int64_t, PairStats> pairs_;
+};
+
+}  // namespace bass::monitor

@@ -1,0 +1,123 @@
+#include "net/maxmin.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace bass::net {
+
+std::vector<double> max_min_allocate(const std::vector<double>& capacities,
+                                     const std::vector<AllocEntity>& entities) {
+  const std::size_t nf = entities.size();
+  const std::size_t nl = capacities.size();
+  std::vector<double> alloc(nf, 0.0);
+  std::vector<bool> frozen(nf, false);
+
+  std::vector<double> remaining = capacities;
+  std::vector<int> unfrozen_on_link(nl, 0);
+  std::vector<std::vector<int>> flows_on_link(nl);
+
+  std::size_t unfrozen_count = 0;
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (entities[f].demand <= 0.0) {
+      frozen[f] = true;
+      continue;
+    }
+    assert(!entities[f].links.empty() && "demanding entity must traverse links");
+    ++unfrozen_count;
+    for (LinkId l : entities[f].links) {
+      assert(l >= 0 && static_cast<std::size_t>(l) < nl);
+      ++unfrozen_on_link[l];
+      flows_on_link[l].push_back(static_cast<int>(f));
+    }
+  }
+
+  // Absolute slack below which a link counts as saturated / a demand as met.
+  constexpr double kEps = 1e-3;  // 0.001 bps
+
+  // Each iteration saturates a link or meets a demand, so the loop runs at
+  // most nf + nl times; the +2 is head room for float edge cases.
+  std::size_t guard = nf + nl + 2;
+  while (unfrozen_count > 0 && guard-- > 0) {
+    // Water level increment: smallest equal share that saturates a link or
+    // meets a flow's demand.
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (unfrozen_on_link[l] > 0) {
+        delta = std::min(delta, remaining[l] / unfrozen_on_link[l]);
+      }
+    }
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (!frozen[f]) delta = std::min(delta, entities[f].demand - alloc[f]);
+    }
+    if (!std::isfinite(delta)) break;
+    delta = std::max(delta, 0.0);
+
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      alloc[f] += delta;
+      for (LinkId l : entities[f].links) remaining[l] -= delta;
+    }
+
+    // Freeze flows whose demand is met.
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f] || alloc[f] + kEps < entities[f].demand) continue;
+      frozen[f] = true;
+      --unfrozen_count;
+      for (LinkId l : entities[f].links) --unfrozen_on_link[l];
+    }
+    // Freeze flows crossing a saturated link.
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (remaining[l] > kEps || unfrozen_on_link[l] == 0) continue;
+      for (int f : flows_on_link[l]) {
+        if (frozen[f]) continue;
+        frozen[f] = true;
+        --unfrozen_count;
+        for (LinkId fl : entities[f].links) --unfrozen_on_link[fl];
+      }
+    }
+  }
+
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (alloc[f] < 0.0) alloc[f] = 0.0;
+  }
+  return alloc;
+}
+
+std::vector<double> proportional_allocate(const std::vector<double>& capacities,
+                                          const std::vector<AllocEntity>& entities) {
+  const std::size_t nf = entities.size();
+  const std::size_t nl = capacities.size();
+
+  // Only "unlimited" backlogged flows are capped (to the largest single
+  // capacity) so they weigh links sensibly; finite demands keep their true
+  // magnitude, preserving demand ratios in the proportional split.
+  double max_capacity = 0.0;
+  for (double c : capacities) max_capacity = std::max(max_capacity, c);
+  auto effective_demand = [&](const AllocEntity& e) {
+    return e.demand >= static_cast<double>(kUnlimitedRate) ? max_capacity : e.demand;
+  };
+
+  std::vector<double> offered(nl, 0.0);
+  for (const AllocEntity& e : entities) {
+    for (LinkId l : e.links) offered[static_cast<std::size_t>(l)] += effective_demand(e);
+  }
+
+  std::vector<double> alloc(nf, 0.0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    const AllocEntity& e = entities[f];
+    if (e.demand <= 0.0) continue;
+    double scale = 1.0;
+    for (LinkId l : e.links) {
+      const std::size_t li = static_cast<std::size_t>(l);
+      if (offered[li] > capacities[li]) {
+        scale = std::min(scale, offered[li] <= 0.0 ? 0.0 : capacities[li] / offered[li]);
+      }
+    }
+    alloc[f] = effective_demand(e) * std::max(scale, 0.0);
+  }
+  return alloc;
+}
+
+}  // namespace bass::net

@@ -1,0 +1,37 @@
+// Max-min fair bandwidth allocation (progressive filling / water-filling)
+// with per-flow demand caps. Pure function so the fairness invariants are
+// directly testable; the Network wraps it with event-driven bookkeeping.
+//
+// This models what TCP-like congestion control converges to on shared
+// links, which is the regime the paper's testbed (tc-shaped links carrying
+// real application traffic) operates in.
+#pragma once
+
+#include <vector>
+
+#include "net/types.h"
+
+namespace bass::net {
+
+struct AllocEntity {
+  // Demand cap in bps; use kUnlimitedRate for backlogged flows.
+  double demand = 0.0;
+  // Directed links the flow traverses (no duplicates). Must be non-empty
+  // for any entity with positive demand.
+  std::vector<LinkId> links;
+};
+
+// Returns the max-min fair rate (bps) for each entity, in input order.
+// `capacities[l]` is the capacity of directed link l.
+std::vector<double> max_min_allocate(const std::vector<double>& capacities,
+                                     const std::vector<AllocEntity>& entities);
+
+// Proportional-share alternative (ablation baseline): every flow is scaled
+// by the worst oversubscription ratio along its path, so a congested link
+// punishes all of its flows proportionally to their demands instead of
+// equalizing them. Models rate-proportional behaviours (e.g. UDP senders
+// without backoff, or weighted shaping).
+std::vector<double> proportional_allocate(const std::vector<double>& capacities,
+                                          const std::vector<AllocEntity>& entities);
+
+}  // namespace bass::net

@@ -1,0 +1,375 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bass::net {
+
+namespace {
+
+// Drain time in whole microseconds for `bytes` at `rate_bps`, rounded up.
+// Dispatches to the configured fairness policy.
+std::vector<double> allocate_rates(net::FairnessPolicy policy,
+                                   const std::vector<double>& capacities,
+                                   const std::vector<net::AllocEntity>& entities) {
+  if (policy == net::FairnessPolicy::kProportional) {
+    return net::proportional_allocate(capacities, entities);
+  }
+  return net::max_min_allocate(capacities, entities);
+}
+
+sim::Duration drain_micros(double bytes, double rate_bps) {
+  if (rate_bps <= 0.0) return -1;  // stalled
+  const double us = bytes * 8.0 * 1e6 / rate_bps;
+  return static_cast<sim::Duration>(std::ceil(us));
+}
+
+// Bytes moved in `dt` microseconds at `rate_bps`.
+double bytes_in(sim::Duration dt, double rate_bps) {
+  return rate_bps * static_cast<double>(dt) / 8e6;
+}
+
+}  // namespace
+
+Network::Network(sim::Simulation& sim, Topology topology, NetworkConfig config)
+    : sim_(&sim),
+      topology_(std::move(topology)),
+      routing_(topology_, config.routing),
+      config_(config),
+      link_allocated_(static_cast<std::size_t>(topology_.link_count()), 0.0) {}
+
+Network::BatchUpdate::BatchUpdate(Network& net) : net_(net) { ++net_.batch_depth_; }
+
+Network::BatchUpdate::~BatchUpdate() {
+  if (--net_.batch_depth_ == 0 && net_.batch_dirty_) {
+    net_.batch_dirty_ = false;
+    net_.reallocate();
+  }
+}
+
+void Network::set_link_capacity(LinkId link, Bps capacity) {
+  if (topology_.link(link).capacity == capacity) return;
+  settle_all();  // progress flows at old rates before the world changes
+  topology_.set_capacity(link, std::max<Bps>(capacity, 0));
+  if (batch_depth_ > 0) {
+    batch_dirty_ = true;
+  } else {
+    reallocate();
+  }
+}
+
+void Network::set_link_capacity_between(NodeId a, NodeId b, Bps capacity) {
+  BatchUpdate batch(*this);
+  if (auto ab = topology_.link_between(a, b)) set_link_capacity(*ab, capacity);
+  if (auto ba = topology_.link_between(b, a)) set_link_capacity(*ba, capacity);
+}
+
+Bps Network::link_allocated(LinkId link) const {
+  return static_cast<Bps>(link_allocated_.at(static_cast<std::size_t>(link)));
+}
+
+Network::Channel& Network::channel_for(NodeId src, NodeId dst) {
+  const std::int64_t key = channel_key(src, dst);
+  auto [it, inserted] = channels_.try_emplace(key);
+  if (inserted) {
+    it->second.src = src;
+    it->second.dst = dst;
+    it->second.last_update = sim_->now();
+  }
+  return it->second;
+}
+
+TransferId Network::start_transfer(NodeId src, NodeId dst, std::int64_t bytes,
+                                   TransferCallback done, Tag tag) {
+  assert(bytes >= 0);
+  const TransferId id = next_transfer_++;
+
+  if (src == dst) {
+    // Colocated components talk over loopback; no mesh involvement.
+    const sim::Duration dt =
+        config_.loopback_latency +
+        std::max<sim::Duration>(drain_micros(static_cast<double>(bytes),
+                                             static_cast<double>(config_.loopback_bps)),
+                                0);
+    account_bytes(tag, static_cast<double>(bytes));
+    sim_->schedule_after(dt, [done = std::move(done)] {
+      if (done) done();
+    });
+    return id;
+  }
+
+  assert(routing_.reachable(src, dst) && "transfer between partitioned nodes");
+  Channel& ch = channel_for(src, dst);
+  const bool was_idle = ch.fifo.empty();
+  ch.fifo.push_back(Transfer{id, static_cast<double>(bytes), bytes, std::move(done), tag});
+  transfer_channel_[id] = channel_key(src, dst);
+  if (was_idle) {
+    settle_all();
+    active_channels_.push_back(channel_key(src, dst));
+    reallocate();  // a new contender changes everyone's share
+  }
+  // else: the channel was already backlogged; rates are unchanged.
+  return id;
+}
+
+bool Network::cancel_transfer(TransferId id) {
+  const auto it = transfer_channel_.find(id);
+  if (it == transfer_channel_.end()) return false;
+  const std::int64_t key = it->second;
+  Channel& ch = channels_.at(key);
+  auto pos = std::find_if(ch.fifo.begin(), ch.fifo.end(),
+                          [id](const Transfer& t) { return t.id == id; });
+  if (pos == ch.fifo.end()) return false;
+  const bool was_head = (pos == ch.fifo.begin());
+  if (was_head) settle_channel(ch);
+  transfer_channel_.erase(it);
+  ch.fifo.erase(pos);
+  if (was_head) {
+    if (ch.head_event != sim::kInvalidEvent) {
+      sim_->cancel(ch.head_event);
+      ch.head_event = sim::kInvalidEvent;
+    }
+    if (ch.fifo.empty()) {
+      settle_all();
+      std::erase(active_channels_, key);
+      reallocate();
+    } else {
+      schedule_head_event(key);
+    }
+  }
+  return true;
+}
+
+StreamId Network::open_stream(NodeId src, NodeId dst, Bps demand, Tag tag) {
+  const StreamId id = next_stream_++;
+  Stream st;
+  st.src = src;
+  st.dst = dst;
+  st.demand = std::max<Bps>(demand, 0);
+  st.tag = tag;
+  st.last_update = sim_->now();
+  if (src == dst) {
+    // Loopback streams always run at full demand.
+    st.rate_bps = static_cast<double>(st.demand);
+    streams_[id] = st;
+    return id;
+  }
+  assert(routing_.reachable(src, dst) && "stream between partitioned nodes");
+  settle_all();
+  streams_[id] = st;
+  reallocate();
+  return id;
+}
+
+void Network::set_stream_demand(StreamId id, Bps demand) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  if (it->second.demand == demand) return;
+  settle_all();
+  it->second.demand = std::max<Bps>(demand, 0);
+  if (it->second.src == it->second.dst) {
+    it->second.rate_bps = static_cast<double>(it->second.demand);
+    return;
+  }
+  reallocate();
+}
+
+void Network::close_stream(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  settle_all();
+  const bool meshed = it->second.src != it->second.dst;
+  streams_.erase(it);
+  if (meshed) reallocate();
+}
+
+Bps Network::stream_rate(StreamId id) const {
+  const auto it = streams_.find(id);
+  if (it == streams_.end()) return 0;
+  return static_cast<Bps>(it->second.rate_bps);
+}
+
+Bps Network::path_capacity(NodeId src, NodeId dst) const {
+  if (src == dst) return config_.loopback_bps;
+  if (!routing_.reachable(src, dst)) return 0;
+  Bps bottleneck = kUnlimitedRate;
+  for (LinkId l : routing_.path(src, dst)) {
+    bottleneck = std::min(bottleneck, topology_.link(l).capacity);
+  }
+  return bottleneck;
+}
+
+Bps Network::path_available(NodeId src, NodeId dst) const {
+  if (src == dst) return config_.loopback_bps;
+  if (!routing_.reachable(src, dst)) return 0;
+
+  // Re-run the allocator with a phantom unbounded flow on the path.
+  std::vector<double> capacities(static_cast<std::size_t>(topology_.link_count()));
+  for (int l = 0; l < topology_.link_count(); ++l) {
+    capacities[static_cast<std::size_t>(l)] = static_cast<double>(topology_.link(l).capacity);
+  }
+  std::vector<AllocEntity> entities;
+  for (std::int64_t key : active_channels_) {
+    const Channel& ch = channels_.at(key);
+    entities.push_back({static_cast<double>(kUnlimitedRate),
+                        routing_.path(ch.src, ch.dst)});
+  }
+  for (const auto& [id, st] : streams_) {
+    if (st.src == st.dst || st.demand <= 0) continue;
+    entities.push_back({static_cast<double>(st.demand), routing_.path(st.src, st.dst)});
+  }
+  entities.push_back({static_cast<double>(kUnlimitedRate), routing_.path(src, dst)});
+  const auto rates = allocate_rates(config_.fairness, capacities, entities);
+  return static_cast<Bps>(rates.back());
+}
+
+void Network::account_bytes(Tag tag, double bytes) {
+  total_bytes_delivered_ += static_cast<std::int64_t>(bytes);
+  if (tag == 0) return;
+  tag_bytes_window_[tag] += bytes;
+  tag_bytes_total_[tag] += bytes;
+}
+
+std::int64_t Network::take_tag_bytes(Tag tag) {
+  settle_all();
+  auto it = tag_bytes_window_.find(tag);
+  if (it == tag_bytes_window_.end()) return 0;
+  const auto bytes = static_cast<std::int64_t>(it->second);
+  it->second = 0.0;
+  return bytes;
+}
+
+std::int64_t Network::total_tag_bytes(Tag tag) {
+  settle_all();
+  const auto it = tag_bytes_total_.find(tag);
+  if (it == tag_bytes_total_.end()) return 0;
+  return static_cast<std::int64_t>(it->second);
+}
+
+void Network::settle_channel(Channel& ch) {
+  const sim::Time now = sim_->now();
+  const sim::Duration dt = now - ch.last_update;
+  ch.last_update = now;
+  if (dt <= 0 || ch.fifo.empty() || ch.rate_bps <= 0.0) return;
+  double moved = bytes_in(dt, ch.rate_bps);
+  Transfer& head = ch.fifo.front();
+  // Rounding of the completion event can make `moved` overshoot slightly.
+  moved = std::min(moved, head.bytes_remaining);
+  head.bytes_remaining -= moved;
+  account_bytes(head.tag, moved);
+}
+
+void Network::settle_stream(Stream& st) {
+  const sim::Time now = sim_->now();
+  const sim::Duration dt = now - st.last_update;
+  st.last_update = now;
+  if (dt <= 0 || st.rate_bps <= 0.0) return;
+  const double moved = bytes_in(dt, st.rate_bps) + st.byte_carry;
+  st.byte_carry = 0.0;
+  account_bytes(st.tag, moved);
+}
+
+void Network::settle_all() {
+  for (std::int64_t key : active_channels_) settle_channel(channels_.at(key));
+  for (auto& [id, st] : streams_) settle_stream(st);
+}
+
+void Network::reallocate() {
+  if (batch_depth_ > 0) {
+    batch_dirty_ = true;
+    return;
+  }
+  ++reallocation_count_;
+
+  std::vector<double> capacities(static_cast<std::size_t>(topology_.link_count()));
+  for (int l = 0; l < topology_.link_count(); ++l) {
+    capacities[static_cast<std::size_t>(l)] = static_cast<double>(topology_.link(l).capacity);
+  }
+
+  // Entities: active channels first, then demanding mesh streams (matching
+  // iteration below). Order within the vector does not affect fairness.
+  std::vector<AllocEntity> entities;
+  entities.reserve(active_channels_.size() + streams_.size());
+  for (std::int64_t key : active_channels_) {
+    const Channel& ch = channels_.at(key);
+    entities.push_back({static_cast<double>(kUnlimitedRate),
+                        routing_.path(ch.src, ch.dst)});
+  }
+  std::vector<StreamId> mesh_streams;
+  for (auto& [id, st] : streams_) {
+    if (st.src == st.dst || st.demand <= 0) continue;
+    mesh_streams.push_back(id);
+  }
+  // Deterministic iteration regardless of hash-map order.
+  std::sort(mesh_streams.begin(), mesh_streams.end());
+  for (StreamId id : mesh_streams) {
+    const Stream& st = streams_.at(id);
+    entities.push_back({static_cast<double>(st.demand), routing_.path(st.src, st.dst)});
+  }
+
+  const auto rates = allocate_rates(config_.fairness, capacities, entities);
+
+  std::fill(link_allocated_.begin(), link_allocated_.end(), 0.0);
+  std::size_t idx = 0;
+  for (std::int64_t key : active_channels_) {
+    Channel& ch = channels_.at(key);
+    ch.rate_bps = rates[idx];
+    for (LinkId l : routing_.path(ch.src, ch.dst)) {
+      link_allocated_[static_cast<std::size_t>(l)] += rates[idx];
+    }
+    ++idx;
+    schedule_head_event(key);
+  }
+  for (StreamId id : mesh_streams) {
+    Stream& st = streams_.at(id);
+    st.rate_bps = rates[idx];
+    for (LinkId l : routing_.path(st.src, st.dst)) {
+      link_allocated_[static_cast<std::size_t>(l)] += rates[idx];
+    }
+    ++idx;
+  }
+}
+
+void Network::schedule_head_event(std::int64_t key) {
+  Channel& ch = channels_.at(key);
+  if (ch.head_event != sim::kInvalidEvent) {
+    sim_->cancel(ch.head_event);
+    ch.head_event = sim::kInvalidEvent;
+  }
+  if (ch.fifo.empty()) return;
+  const sim::Duration drain = drain_micros(ch.fifo.front().bytes_remaining, ch.rate_bps);
+  if (drain < 0) return;  // stalled: wait for a rate change
+  ch.head_event = sim_->schedule_after(drain, [this, key] { complete_head(key); });
+}
+
+void Network::complete_head(std::int64_t key) {
+  Channel& ch = channels_.at(key);
+  ch.head_event = sim::kInvalidEvent;
+  settle_channel(ch);
+  assert(!ch.fifo.empty());
+  Transfer head = std::move(ch.fifo.front());
+  ch.fifo.pop_front();
+  transfer_channel_.erase(head.id);
+  // Account any residue lost to event rounding.
+  if (head.bytes_remaining > 0.0) account_bytes(head.tag, head.bytes_remaining);
+
+  if (ch.fifo.empty()) {
+    settle_all();
+    std::erase(active_channels_, key);
+    reallocate();
+  } else {
+    schedule_head_event(key);
+  }
+
+  // Delivery completes after propagation over the path's hops.
+  const sim::Duration hop_delay =
+      config_.per_hop_latency * routing_.hops(ch.src, ch.dst);
+  if (head.done) {
+    sim_->schedule_after(hop_delay, [done = std::move(head.done)] { done(); });
+  }
+}
+
+}  // namespace bass::net

@@ -1,0 +1,184 @@
+// Flow-level network simulator. Two traffic primitives:
+//
+//  * Transfer — a finite byte payload between two nodes (an RPC message, a
+//    video frame). Transfers between the same node pair share a FIFO
+//    "channel" served at the channel's max-min fair rate, which gives
+//    natural queueing behaviour when links saturate.
+//  * Stream — a constant-demand flow (a video feed, a probe). Its delivered
+//    rate is its max-min allocation; shortfall against demand models loss.
+//
+// Rates are recomputed only when the set of contending flows or a link
+// capacity changes — completions inside a busy channel don't perturb the
+// allocation, which keeps event counts tractable for long workloads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/maxmin.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "net/types.h"
+#include "sim/simulation.h"
+
+namespace bass::net {
+
+using TransferId = std::int64_t;
+using StreamId = std::int64_t;
+using Tag = std::uint64_t;  // caller-defined traffic class for byte counters
+
+enum class FairnessPolicy {
+  kMaxMin,        // TCP-like convergence (default; what the paper's testbed ran)
+  kProportional,  // ablation: demands scaled by worst path oversubscription
+};
+
+struct NetworkConfig {
+  // One-way propagation/processing latency added per traversed link.
+  sim::Duration per_hop_latency = sim::millis(1);
+  // Colocated (same-node) transfers bypass the mesh entirely.
+  Bps loopback_bps = gbps(10);
+  sim::Duration loopback_latency = sim::micros(100);
+  FairnessPolicy fairness = FairnessPolicy::kMaxMin;
+  // The mesh's routing protocol behaviour (see net/routing.h).
+  RoutingPolicy routing = RoutingPolicy::kMinHop;
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, Topology topology, NetworkConfig config = {});
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const Topology& topology() const { return topology_; }
+  const RoutingTable& routing() const { return routing_; }
+  sim::Simulation& simulation() { return *sim_; }
+  const NetworkConfig& config() const { return config_; }
+
+  // One-way propagation latency along the routed path (0 when colocated).
+  sim::Duration path_latency(NodeId src, NodeId dst) const {
+    return config_.per_hop_latency * routing_.hops(src, dst);
+  }
+
+  // ---- Capacity control (driven by the trace player / experiments) ----
+  void set_link_capacity(LinkId link, Bps capacity);
+  // Convenience: sets both directions of the (a,b) link.
+  void set_link_capacity_between(NodeId a, NodeId b, Bps capacity);
+  Bps link_capacity(LinkId link) const { return topology_.link(link).capacity; }
+  // Current sum of flow rates crossing the link (refreshed on reallocation).
+  Bps link_allocated(LinkId link) const;
+
+  // Batch capacity updates: reallocation is deferred until the guard dies.
+  class BatchUpdate {
+   public:
+    explicit BatchUpdate(Network& net);
+    ~BatchUpdate();
+    BatchUpdate(const BatchUpdate&) = delete;
+    BatchUpdate& operator=(const BatchUpdate&) = delete;
+
+   private:
+    Network& net_;
+  };
+
+  // ---- Transfers ----
+  using TransferCallback = std::function<void()>;
+  // Moves `bytes` from src to dst; `done` fires when the last byte lands
+  // (drain time + per-hop latency). Returns an id usable with cancel().
+  TransferId start_transfer(NodeId src, NodeId dst, std::int64_t bytes,
+                            TransferCallback done, Tag tag = 0);
+  // Cancels a queued/in-flight transfer. False if it already completed.
+  bool cancel_transfer(TransferId id);
+
+  // ---- Streams ----
+  StreamId open_stream(NodeId src, NodeId dst, Bps demand, Tag tag = 0);
+  void set_stream_demand(StreamId id, Bps demand);
+  void close_stream(StreamId id);
+  // Current allocated rate; 0 for unknown/closed streams.
+  Bps stream_rate(StreamId id) const;
+
+  // ---- Observability ----
+  // Bottleneck *raw* capacity along the routed path (ignores contention).
+  Bps path_capacity(NodeId src, NodeId dst) const;
+  // Rate a hypothetical new unbounded flow would receive on the path right
+  // now — the ground truth a flood probe estimates.
+  Bps path_available(NodeId src, NodeId dst) const;
+
+  // Delivered bytes for a tag since the last take (settles flows first).
+  std::int64_t take_tag_bytes(Tag tag);
+  // Delivered bytes for a tag since the start of the simulation.
+  std::int64_t total_tag_bytes(Tag tag);
+
+  std::int64_t total_bytes_delivered() const { return total_bytes_delivered_; }
+  std::int64_t reallocation_count() const { return reallocation_count_; }
+  std::size_t active_channel_count() const { return active_channels_.size(); }
+  std::size_t stream_count() const { return streams_.size(); }
+
+ private:
+  struct Transfer {
+    TransferId id = 0;
+    double bytes_remaining = 0.0;
+    std::int64_t bytes_total = 0;
+    TransferCallback done;
+    Tag tag = 0;
+  };
+
+  struct Channel {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::deque<Transfer> fifo;
+    double rate_bps = 0.0;
+    sim::Time last_update = 0;
+    sim::EventId head_event = sim::kInvalidEvent;
+  };
+
+  struct Stream {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    Bps demand = 0;
+    double rate_bps = 0.0;
+    sim::Time last_update = 0;
+    Tag tag = 0;
+    double byte_carry = 0.0;  // fractional bytes pending accounting
+  };
+
+  std::int64_t channel_key(NodeId src, NodeId dst) const {
+    return (static_cast<std::int64_t>(src) << 32) | static_cast<std::uint32_t>(dst);
+  }
+
+  Channel& channel_for(NodeId src, NodeId dst);
+  // Advances a flow's byte accounting to `now` at its current rate.
+  void settle_channel(Channel& ch);
+  void settle_stream(Stream& st);
+  void settle_all();
+  // Recomputes all rates and reschedules head-completion events.
+  void reallocate();
+  void schedule_head_event(std::int64_t key);
+  void complete_head(std::int64_t key);
+  void account_bytes(Tag tag, double bytes);
+
+  sim::Simulation* sim_;
+  Topology topology_;
+  RoutingTable routing_;
+  NetworkConfig config_;
+
+  std::unordered_map<std::int64_t, Channel> channels_;  // keyed by (src,dst)
+  std::vector<std::int64_t> active_channels_;           // keys with backlog
+  std::unordered_map<StreamId, Stream> streams_;
+  std::unordered_map<TransferId, std::int64_t> transfer_channel_;  // id -> key
+
+  std::vector<double> link_allocated_;
+  std::unordered_map<Tag, double> tag_bytes_window_;
+  std::unordered_map<Tag, double> tag_bytes_total_;
+
+  TransferId next_transfer_ = 1;
+  StreamId next_stream_ = 1;
+  std::int64_t total_bytes_delivered_ = 0;
+  std::int64_t reallocation_count_ = 0;
+  int batch_depth_ = 0;
+  bool batch_dirty_ = false;
+};
+
+}  // namespace bass::net

@@ -1,0 +1,114 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace bass::net {
+
+void RoutingTable::recompute() {
+  const int n = topo_->node_count();
+  paths_.assign(static_cast<std::size_t>(n) * n, {});
+  reachable_.assign(static_cast<std::size_t>(n) * n, false);
+  if (policy_ == RoutingPolicy::kWidestPath) {
+    recompute_widest();
+  } else {
+    recompute_min_hop();
+  }
+}
+
+void RoutingTable::recompute_min_hop() {
+  const int n = topo_->node_count();
+
+  // BFS from every source. Neighbors are explored in out-link insertion
+  // order, which fixes the tie-break deterministically.
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<LinkId> in_link(n, kInvalidLink);
+    std::vector<NodeId> parent(n, kInvalidNode);
+    std::vector<bool> seen(n, false);
+    std::queue<NodeId> queue;
+    seen[src] = true;
+    queue.push(src);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (LinkId l : topo_->out_links(u)) {
+        const NodeId v = topo_->link(l).dst;
+        if (seen[v]) continue;
+        seen[v] = true;
+        parent[v] = u;
+        in_link[v] = l;
+        queue.push(v);
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (!seen[dst]) continue;
+      reachable_[static_cast<std::size_t>(src) * n + dst] = true;
+      if (dst == src) continue;
+      std::vector<LinkId> rev;
+      for (NodeId v = dst; v != src; v = parent[v]) rev.push_back(in_link[v]);
+      std::reverse(rev.begin(), rev.end());
+      paths_[static_cast<std::size_t>(src) * n + dst] = std::move(rev);
+    }
+  }
+}
+
+void RoutingTable::recompute_widest() {
+  const int n = topo_->node_count();
+
+  // Widest-path Dijkstra from every source: maximize the bottleneck
+  // capacity, break ties by hop count, then by lower node id.
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<Bps> width(n, -1);
+    std::vector<int> hops(n, 0);
+    std::vector<LinkId> in_link(n, kInvalidLink);
+    std::vector<NodeId> parent(n, kInvalidNode);
+    std::vector<bool> done(n, false);
+    width[src] = kUnlimitedRate;
+
+    for (int round = 0; round < n; ++round) {
+      NodeId u = kInvalidNode;
+      for (NodeId v = 0; v < n; ++v) {
+        if (done[v] || width[v] < 0) continue;
+        if (u == kInvalidNode || width[v] > width[u] ||
+            (width[v] == width[u] && hops[v] < hops[u])) {
+          u = v;
+        }
+      }
+      if (u == kInvalidNode) break;
+      done[u] = true;
+      for (LinkId l : topo_->out_links(u)) {
+        const NodeId v = topo_->link(l).dst;
+        if (done[v]) continue;
+        const Bps through = std::min(width[u], topo_->link(l).capacity);
+        const int h = hops[u] + 1;
+        if (through > width[v] || (through == width[v] && h < hops[v])) {
+          width[v] = through;
+          hops[v] = h;
+          parent[v] = u;
+          in_link[v] = l;
+        }
+      }
+    }
+
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (width[dst] < 0) continue;
+      reachable_[static_cast<std::size_t>(src) * n + dst] = true;
+      if (dst == src) continue;
+      std::vector<LinkId> rev;
+      for (NodeId v = dst; v != src; v = parent[v]) rev.push_back(in_link[v]);
+      std::reverse(rev.begin(), rev.end());
+      paths_[static_cast<std::size_t>(src) * n + dst] = std::move(rev);
+    }
+  }
+}
+
+const std::vector<LinkId>& RoutingTable::path(NodeId src, NodeId dst) const {
+  return paths_.at(static_cast<std::size_t>(src) * topo_->node_count() + dst);
+}
+
+bool RoutingTable::reachable(NodeId src, NodeId dst) const {
+  return reachable_.at(static_cast<std::size_t>(src) * topo_->node_count() + dst);
+}
+
+}  // namespace bass::net

@@ -1,0 +1,61 @@
+// Mesh routing with deterministic tie-breaking. The paper assumes routing
+// is decentralized and out of the orchestrator's control (§1, §3.1); BASS
+// only *observes* paths (via traceroute) and must work with whatever the
+// mesh runs. Two steady-state models are provided:
+//
+//  * kMinHop — shortest path by hop count (802.11s default metric's shape);
+//  * kWidestPath — maximize the bottleneck capacity along the path, ties
+//    broken by fewer hops (the shape of link-quality metrics like
+//    BATMAN/OLSR-ETX, which route around weak links).
+//
+// Routes are computed against the capacities at recompute() time and held
+// stable — real mesh protocols damp route flapping, and the paper's BASS
+// explicitly does not chase routing dynamics.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "net/types.h"
+
+namespace bass::net {
+
+enum class RoutingPolicy { kMinHop, kWidestPath };
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(const Topology& topo,
+                        RoutingPolicy policy = RoutingPolicy::kMinHop)
+      : topo_(&topo), policy_(policy) {
+    recompute();
+  }
+
+  RoutingPolicy policy() const { return policy_; }
+
+  // Rebuilds all routes (call if the topology gained nodes/links, or to
+  // re-evaluate widest paths against current capacities).
+  void recompute();
+
+  // Directed links traversed from src to dst; empty when src == dst.
+  // The path is precomputed and stable — our "traceroute".
+  const std::vector<LinkId>& path(NodeId src, NodeId dst) const;
+
+  // Number of hops from src to dst (0 when colocated).
+  int hops(NodeId src, NodeId dst) const {
+    return static_cast<int>(path(src, dst).size());
+  }
+
+  bool reachable(NodeId src, NodeId dst) const;
+
+ private:
+  void recompute_min_hop();
+  void recompute_widest();
+
+  const Topology* topo_;
+  RoutingPolicy policy_;
+  // paths_[src * n + dst]
+  std::vector<std::vector<LinkId>> paths_;
+  std::vector<bool> reachable_;
+};
+
+}  // namespace bass::net

@@ -1,0 +1,23 @@
+// Shared identifier and unit types for the network substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace bass::net {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;  // index of a *directed* link
+using Bps = std::int64_t;     // bits per second
+
+constexpr NodeId kInvalidNode = -1;
+constexpr LinkId kInvalidLink = -1;
+
+// Sentinel for "as much as the network will give" (used by probe flows and
+// backlogged transfer channels). Large but finite so arithmetic stays safe.
+constexpr Bps kUnlimitedRate = 1'000'000'000'000'000LL;  // 1 Pbps
+
+constexpr Bps kbps(std::int64_t n) { return n * 1'000; }
+constexpr Bps mbps(std::int64_t n) { return n * 1'000'000; }
+constexpr Bps gbps(std::int64_t n) { return n * 1'000'000'000; }
+
+}  // namespace bass::net

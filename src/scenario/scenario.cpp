@@ -1,0 +1,327 @@
+#include "scenario/scenario.h"
+
+#include "app/catalog.h"
+#include "trace/generator.h"
+#include "util/strings.h"
+
+namespace bass::scenario {
+
+namespace {
+
+util::Error err(const std::string& message) { return util::make_error(message); }
+
+core::SchedulerKind parse_scheduler(const std::string& kind) {
+  if (kind == "bfs") return core::SchedulerKind::kBassBfs;
+  if (kind == "longest-path") return core::SchedulerKind::kBassLongestPath;
+  if (kind == "k3s") return core::SchedulerKind::kK3sDefault;
+  return core::SchedulerKind::kBassAuto;
+}
+
+}  // namespace
+
+net::NodeId Scenario::node_id(const std::string& name) const {
+  const auto it = nodes_by_name_.find(name);
+  return it == nodes_by_name_.end() ? net::kInvalidNode : it->second;
+}
+
+std::string Scenario::node_name(net::NodeId id) const {
+  for (const auto& [name, node] : nodes_by_name_) {
+    if (node == id) return name;
+  }
+  return "node" + std::to_string(id);
+}
+
+util::Expected<std::unique_ptr<Scenario>> Scenario::from_file(const std::string& path) {
+  auto ini = util::load_ini(path);
+  if (!ini.ok()) return err(ini.error());
+  return from_ini(ini.value());
+}
+
+util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(const util::IniFile& ini) {
+  auto s = std::unique_ptr<Scenario>(new Scenario());
+
+  // ---- Nodes & topology ----
+  net::Topology topo;
+  for (const auto* section : ini.of_kind("node")) {
+    if (section->heading.size() != 2) return err("[node] needs exactly one name");
+    const std::string& name = section->heading[1];
+    if (s->nodes_by_name_.count(name)) return err("duplicate node '" + name + "'");
+    s->nodes_by_name_[name] = topo.add_node(name);
+  }
+  if (s->nodes_by_name_.empty()) return err("scenario defines no [node] sections");
+
+  for (const auto* section : ini.of_kind("link")) {
+    if (section->heading.size() != 3) return err("[link] needs two node names");
+    const net::NodeId a = s->node_id(section->heading[1]);
+    const net::NodeId b = s->node_id(section->heading[2]);
+    if (a == net::kInvalidNode || b == net::kInvalidNode) {
+      return err("[link " + section->heading[1] + " " + section->heading[2] +
+                 "]: unknown node");
+    }
+    const double mbps = section->number_or("capacity_mbps", 10.0);
+    topo.add_link(a, b, static_cast<net::Bps>(mbps * 1e6));
+  }
+  s->network_ = std::make_unique<net::Network>(s->sim_, std::move(topo));
+
+  // Every pair must be reachable — the paper (and BASS) assume no
+  // partitions (§3.1).
+  for (const auto& [na, a] : s->nodes_by_name_) {
+    for (const auto& [nb, b] : s->nodes_by_name_) {
+      if (!s->network_->routing().reachable(a, b)) {
+        return err("mesh is partitioned: '" + na + "' cannot reach '" + nb + "'");
+      }
+    }
+  }
+
+  // ---- Cluster resources ----
+  for (const auto* section : ini.of_kind("node")) {
+    const net::NodeId id = s->node_id(section->heading[1]);
+    cluster::NodeSpec spec;
+    spec.cpu_milli = static_cast<std::int64_t>(section->number_or("cpu", 4000));
+    spec.memory_mb = static_cast<std::int64_t>(section->number_or("memory_mb", 4096));
+    spec.schedulable = section->flag_or("schedulable", true);
+    s->cluster_.add_node(id, spec);
+  }
+
+  // ---- Orchestrator & monitor ----
+  core::OrchestratorConfig orch_cfg;
+  if (const auto* mig = ini.first_of_kind("migration")) {
+    orch_cfg.restart_duration =
+        sim::seconds_f(mig->number_or("restart_s", 10.0));
+  }
+  s->orch_ = std::make_unique<core::Orchestrator>(s->sim_, *s->network_, s->cluster_,
+                                                  orch_cfg);
+  const auto* mon = ini.first_of_kind("monitor");
+  if (mon == nullptr || mon->flag_or("enabled", true)) {
+    monitor::MonitorConfig mon_cfg;
+    if (mon != nullptr) {
+      mon_cfg.probe_interval = sim::seconds_f(mon->number_or("probe_interval_s", 30));
+      mon_cfg.headroom_frac = mon->number_or("headroom_frac", 0.10);
+    }
+    s->monitor_ = std::make_unique<monitor::NetMonitor>(*s->network_, mon_cfg);
+    s->orch_->attach_monitor(s->monitor_.get());
+  }
+
+  // ---- Traces ----
+  s->player_ = std::make_unique<trace::TracePlayer>(*s->network_);
+  const auto* run = ini.first_of_kind("run");
+  s->duration_ = sim::seconds_f(run ? run->number_or("duration_s", 600) : 600);
+  if (run != nullptr) s->dot_path_ = run->get_or("dot", "");
+  bool has_traces = false;
+  for (const auto* section : ini.of_kind("trace")) {
+    if (section->heading.size() != 3) return err("[trace] needs two node names");
+    const net::NodeId a = s->node_id(section->heading[1]);
+    const net::NodeId b = s->node_id(section->heading[2]);
+    if (a == net::kInvalidNode || b == net::kInvalidNode) return err("[trace]: unknown node");
+    if (!s->network_->topology().link_between(a, b)) {
+      return err("[trace " + section->heading[1] + " " + section->heading[2] +
+                 "]: no such link");
+    }
+    if (const auto file = section->get("file")) {
+      // Replay a recorded trace (CSV: t_seconds,bps — bassctl trace emits
+      // this format, and real testbed traces can be converted to it).
+      auto recorded = trace::BandwidthTrace::load_csv(*file);
+      if (!recorded) return err("[trace]: cannot load '" + *file + "'");
+      s->player_->add_bidirectional(a, b, std::move(*recorded));
+      has_traces = true;
+      continue;
+    }
+    trace::GeneratorParams params;
+    params.mean_bps = static_cast<net::Bps>(section->number_or("mean_mbps", 10) * 1e6);
+    params.stddev_frac = section->number_or("stddev_frac", 0.1);
+    params.duration = s->duration_;
+    if (section->flag_or("fades", false)) {
+      params.fade_probability = section->number_or("fade_probability", 0.002);
+      params.fade_depth_frac = section->number_or("fade_depth", 0.25);
+      params.fade_duration = sim::seconds_f(section->number_or("fade_duration_s", 150));
+    }
+    util::Rng rng(static_cast<std::uint64_t>(section->number_or("seed", 1)));
+    s->player_->add_bidirectional(a, b, trace::generate_trace(params, rng));
+    has_traces = true;
+  }
+
+  // ---- Application ----
+  const auto* wl = ini.first_of_kind("workload");
+  const bool is_conference =
+      wl != nullptr && wl->get_or("type", "requests") == "conference";
+
+  app::AppGraph graph("scenario-app");
+  std::vector<std::pair<net::NodeId, int>> conference_groups;
+  if (is_conference) {
+    if (!ini.of_kind("component").empty()) {
+      return err("conference scenarios build the SFU app from [clients] "
+                 "sections; remove [component]/[edge]");
+    }
+    for (const auto* section : ini.of_kind("clients")) {
+      if (section->heading.size() != 2) return err("[clients] needs a node name");
+      const net::NodeId node = s->node_id(section->heading[1]);
+      if (node == net::kInvalidNode) {
+        return err("[clients " + section->heading[1] + "]: unknown node");
+      }
+      conference_groups.emplace_back(
+          node, static_cast<int>(section->number_or("count", 1)));
+    }
+    if (conference_groups.empty()) {
+      return err("conference scenario defines no [clients] sections");
+    }
+    const auto per_stream =
+        static_cast<net::Bps>(wl->number_or("per_stream_kbps", 250) * 1e3);
+    graph = app::video_conference_app(conference_groups, per_stream);
+  }
+  std::map<std::string, app::ComponentId> comps;
+  for (const auto* section : ini.of_kind("component")) {
+    if (section->heading.size() != 2) return err("[component] needs exactly one name");
+    const std::string& name = section->heading[1];
+    if (comps.count(name)) return err("duplicate component '" + name + "'");
+    app::Component c;
+    c.name = name;
+    c.cpu_milli = static_cast<std::int64_t>(section->number_or("cpu", 100));
+    c.memory_mb = static_cast<std::int64_t>(section->number_or("memory_mb", 64));
+    c.service_time = sim::seconds_f(section->number_or("service_time_ms", 1) / 1e3);
+    c.concurrency = static_cast<int>(section->number_or("concurrency", 4));
+    c.state_mb = static_cast<std::int64_t>(section->number_or("state_mb", 0));
+    if (const auto pinned = section->get("pinned")) {
+      const net::NodeId node = s->node_id(*pinned);
+      if (node == net::kInvalidNode) {
+        return err("component '" + name + "' pinned to unknown node '" + *pinned + "'");
+      }
+      c.pinned_node = node;
+    }
+    comps[name] = graph.add_component(c);
+  }
+  if (!is_conference && comps.empty()) {
+    return err("scenario defines no [component] sections");
+  }
+
+  for (const auto* section : ini.of_kind("edge")) {
+    if (section->heading.size() != 3) return err("[edge] needs two component names");
+    const auto from = comps.find(section->heading[1]);
+    const auto to = comps.find(section->heading[2]);
+    if (from == comps.end() || to == comps.end()) {
+      return err("[edge " + section->heading[1] + " " + section->heading[2] +
+                 "]: unknown component");
+    }
+    app::Edge e;
+    e.from = from->second;
+    e.to = to->second;
+    e.bandwidth = static_cast<net::Bps>(section->number_or("bandwidth_mbps", 1) * 1e6);
+    e.request_bytes = static_cast<std::int64_t>(section->number_or("request_bytes", 1024));
+    e.response_bytes =
+        static_cast<std::int64_t>(section->number_or("response_bytes", 1024));
+    e.probability = section->number_or("probability", 1.0);
+    e.max_latency = sim::seconds_f(section->number_or("max_latency_ms", 0) / 1e3);
+    graph.add_dependency(e);
+  }
+  std::string validation;
+  if (!graph.validate(&validation)) return err("invalid application: " + validation);
+
+  // ---- Deploy ----
+  const auto* sched = ini.first_of_kind("scheduler");
+  const auto kind = parse_scheduler(sched ? sched->get_or("kind", "auto") : "auto");
+  // Probe the links once before placing if a monitor exists, so the
+  // scheduler sees measured capacities.
+  if (s->monitor_) {
+    s->monitor_->start();
+    s->sim_.run_until(sim::seconds(2));
+  }
+  if (has_traces) s->player_->start();
+  auto deployed = s->orch_->deploy(std::move(graph), kind);
+  if (!deployed.ok()) return err("placement failed: " + deployed.error());
+  s->deployment_ = deployed.value();
+
+  // ---- Migration & profiler ----
+  if (const auto* mig = ini.first_of_kind("migration")) {
+    if (mig->flag_or("enabled", true)) {
+      controller::MigrationParams params;
+      params.utilization_threshold = mig->number_or("threshold", 0.65);
+      params.headroom_frac = mig->number_or("headroom", 0.2);
+      params.goodput_floor = mig->number_or("goodput_floor", 0.5);
+      params.evaluation_interval = sim::seconds_f(mig->number_or("interval_s", 30));
+      params.cooldown = sim::seconds_f(mig->number_or("cooldown_s", 30));
+      params.min_migration_gap = sim::seconds_f(mig->number_or("min_gap_s", 90));
+      s->orch_->enable_migration(s->deployment_, params);
+    }
+  }
+  if (const auto* prof = ini.first_of_kind("profiler")) {
+    if (prof->flag_or("enabled", false)) {
+      profiler::ProfilerConfig pcfg;
+      pcfg.sample_interval = sim::seconds_f(prof->number_or("sample_interval_s", 10));
+      pcfg.safety_factor = prof->number_or("safety_factor", 1.25);
+      s->profiler_ = std::make_unique<profiler::OnlineProfiler>(*s->orch_,
+                                                                s->deployment_, pcfg);
+      s->profiler_->start();
+    }
+  }
+
+  // ---- Workload ----
+  if (is_conference) {
+    workload::VideoConferenceConfig cfg;
+    for (const auto& [node, count] : conference_groups) {
+      cfg.groups.push_back({node, count});
+    }
+    cfg.per_stream = static_cast<net::Bps>(wl->number_or("per_stream_kbps", 250) * 1e3);
+    cfg.single_publisher = wl->flag_or("single_publisher", false);
+    s->conference_ = std::make_unique<workload::VideoConferenceEngine>(
+        *s->orch_, s->deployment_, cfg);
+  } else if (wl != nullptr) {
+    workload::RequestWorkloadConfig cfg;
+    cfg.rps = wl->number_or("rps", 50);
+    cfg.arrival = wl->get_or("arrival", "constant") == "exponential"
+                      ? workload::RequestWorkloadConfig::Arrival::kExponential
+                      : workload::RequestWorkloadConfig::Arrival::kConstant;
+    cfg.seed = static_cast<std::uint64_t>(wl->number_or("seed", 1));
+    cfg.max_in_flight = static_cast<std::int64_t>(wl->number_or("max_in_flight", 0));
+    if (const auto client = wl->get("client")) {
+      cfg.client_node = s->node_id(*client);
+      if (cfg.client_node == net::kInvalidNode) {
+        return err("workload client node '" + *client + "' unknown");
+      }
+    }
+    s->requests_ = std::make_unique<workload::RequestEngine>(*s->orch_, s->deployment_,
+                                                             cfg);
+  }
+
+  return s;
+}
+
+RunReport Scenario::run() {
+  RunReport report;
+  if (ran_) return report;
+  ran_ = true;
+
+  // Duration is measured from run() (construction may have burned a few
+  // simulated seconds on the initial probe round).
+  const sim::Time t0 = sim_.now();
+  if (requests_) requests_->start();
+  if (conference_) conference_->start();
+  sim_.run_until(t0 + duration_);
+  if (requests_) requests_->stop();
+  if (conference_) conference_->stop();
+  if (profiler_) profiler_->stop();
+  // Drain in-flight work.
+  sim_.run_until(t0 + duration_ + sim::minutes(2));
+  if (monitor_) monitor_->stop();
+
+  if (requests_) {
+    report.requests_issued = requests_->issued();
+    report.requests_completed = requests_->completed();
+    report.requests_shed = requests_->shed();
+    report.latency_mean_ms = requests_->latencies().mean_ms();
+    report.latency_median_ms = requests_->latencies().median_ms();
+    report.latency_p99_ms = requests_->latencies().p99_ms();
+  }
+  if (conference_) {
+    for (const app::Edge& e : orch_->app(deployment_).edges()) {
+      const auto node = orch_->app(deployment_).component(e.to).pinned_node;
+      if (node) {
+        report.median_bitrate_bps[*node] =
+            conference_->median_bitrate(*node, sim::seconds(10));
+      }
+    }
+  }
+  report.migrations = orch_->migration_events().size();
+  if (monitor_) report.probe_bytes = monitor_->probe_bytes_sent();
+  return report;
+}
+
+}  // namespace bass::scenario

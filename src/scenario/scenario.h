@@ -1,0 +1,106 @@
+// Scenario files: a declarative way to stand up a mesh, an application,
+// and a workload without writing C++ — what a community-network operator
+// actually edits. The INI schema (see examples/scenarios/*.ini):
+//
+//   [node alpha]            cpu = 4000        memory_mb = 4096
+//                           schedulable = true
+//   [link alpha beta]       capacity_mbps = 20
+//   [trace alpha beta]      mean_mbps = 12    stddev_frac = 0.2
+//                           fades = true      fade_probability = 0.002
+//                           fade_depth = 0.25 seed = 7
+//   [component producer]    cpu = 3000        memory_mb = 512
+//                           service_time_ms = 1   concurrency = 4
+//                           pinned = alpha    state_mb = 0
+//   [edge producer consumer] bandwidth_mbps = 8  request_bytes = 4000
+//                           response_bytes = 8000 probability = 1.0
+//                           max_latency_ms = 0
+//   [scheduler]             kind = auto       # bfs | longest-path | auto | k3s
+//   [monitor]               enabled = true    probe_interval_s = 30
+//                           headroom_frac = 0.1
+//   [migration]             enabled = true    threshold = 0.5
+//                           headroom = 0.2    interval_s = 30
+//                           cooldown_s = 30   min_gap_s = 90
+//   [profiler]              enabled = false   sample_interval_s = 10
+//   [workload]              type = requests   rps = 50
+//                           arrival = constant|exponential
+//                           client = alpha    max_in_flight = 0   seed = 1
+//   [run]                   duration_s = 600  dot = placement.dot
+//
+// Conference scenarios replace [component]/[edge] with client groups — the
+// SFU app is built automatically:
+//
+//   [workload]              type = conference  per_stream_kbps = 250
+//                           single_publisher = false
+//   [clients alpha]         count = 3
+//   [clients beta]          count = 3
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/orchestrator.h"
+#include "profiler/online_profiler.h"
+#include "trace/player.h"
+#include "util/expected.h"
+#include "util/ini.h"
+#include "workload/request_engine.h"
+#include "workload/video_conference.h"
+
+namespace bass::scenario {
+
+struct RunReport {
+  // Request workloads:
+  std::int64_t requests_issued = 0;
+  std::int64_t requests_completed = 0;
+  std::int64_t requests_shed = 0;
+  double latency_mean_ms = 0;
+  double latency_median_ms = 0;
+  double latency_p99_ms = 0;
+  // Conference workloads: median per-client bitrate per group node.
+  std::map<net::NodeId, double> median_bitrate_bps;
+  // Always:
+  std::size_t migrations = 0;
+  std::int64_t probe_bytes = 0;
+};
+
+class Scenario {
+ public:
+  // Builds a fully wired world from a parsed scenario. The returned object
+  // owns the simulation and every subsystem.
+  static util::Expected<std::unique_ptr<Scenario>> from_ini(const util::IniFile& ini);
+  static util::Expected<std::unique_ptr<Scenario>> from_file(const std::string& path);
+
+  // Runs the configured duration and returns the report. Callable once.
+  RunReport run();
+
+  // ---- Introspection (valid after construction) ----
+  core::Orchestrator& orchestrator() { return *orch_; }
+  net::Network& network() { return *network_; }
+  const app::AppGraph& app() const { return orch_->app(deployment_); }
+  core::DeploymentId deployment() const { return deployment_; }
+  net::NodeId node_id(const std::string& name) const;
+  std::string node_name(net::NodeId id) const;
+  sim::Duration duration() const { return duration_; }
+  const std::string& dot_path() const { return dot_path_; }
+
+ private:
+  Scenario() = default;
+
+  sim::Simulation sim_;
+  std::unique_ptr<net::Network> network_;
+  cluster::ClusterState cluster_;
+  std::unique_ptr<monitor::NetMonitor> monitor_;
+  std::unique_ptr<core::Orchestrator> orch_;
+  std::unique_ptr<trace::TracePlayer> player_;
+  std::unique_ptr<profiler::OnlineProfiler> profiler_;
+  std::unique_ptr<workload::RequestEngine> requests_;
+  std::unique_ptr<workload::VideoConferenceEngine> conference_;
+  core::DeploymentId deployment_ = core::kInvalidDeployment;
+  std::map<std::string, net::NodeId> nodes_by_name_;
+  sim::Duration duration_ = sim::minutes(10);
+  std::string dot_path_;
+  bool ran_ = false;
+};
+
+}  // namespace bass::scenario

@@ -1,0 +1,57 @@
+#include "sched/bass_scheduler.h"
+
+#include "sched/heuristics.h"
+#include "sched/node_ranker.h"
+#include "sched/packer.h"
+
+namespace bass::sched {
+
+const char* heuristic_name(Heuristic h) {
+  switch (h) {
+    case Heuristic::kBreadthFirst: return "bfs";
+    case Heuristic::kLongestPath: return "longest-path";
+    case Heuristic::kAuto: return "auto";
+  }
+  return "?";
+}
+
+net::Bps crossing_bandwidth(const app::AppGraph& app, const Placement& placement) {
+  net::Bps total = 0;
+  for (const app::Edge& e : app.edges()) {
+    if (node_of(placement, e.from) != node_of(placement, e.to)) total += e.bandwidth;
+  }
+  return total;
+}
+
+std::string BassScheduler::name() const {
+  return std::string("bass-") + heuristic_name(heuristic_);
+}
+
+util::Expected<Placement> BassScheduler::schedule(const app::AppGraph& app,
+                                                  const cluster::ClusterState& cluster,
+                                                  const NetworkView& view) const {
+  std::string error;
+  if (!app.validate(&error)) return util::make_error(error);
+
+  PackInput input{app, cluster, view, rank_nodes(cluster, view)};
+  if (input.ranked_nodes.empty()) return util::make_error("no schedulable nodes");
+
+  if (heuristic_ == Heuristic::kBreadthFirst) {
+    return sequential_pack(input, bfs_order(app));
+  }
+  if (heuristic_ == Heuristic::kLongestPath) {
+    return path_pack(input, longest_path_paths(app));
+  }
+
+  // kAuto: evaluate both and keep the placement with less mesh-crossing
+  // bandwidth. Ties (including "both failed") resolve to BFS.
+  auto bfs = sequential_pack(input, bfs_order(app));
+  auto lp = path_pack(input, longest_path_paths(app));
+  if (!bfs.ok()) return lp;
+  if (!lp.ok()) return bfs;
+  return crossing_bandwidth(app, lp.value()) < crossing_bandwidth(app, bfs.value())
+             ? std::move(lp)
+             : std::move(bfs);
+}
+
+}  // namespace bass::sched

@@ -1,0 +1,16 @@
+#include "sched/network_view.h"
+
+#include <algorithm>
+
+namespace bass::sched {
+
+net::Bps NetworkView::path_capacity(net::NodeId src, net::NodeId dst) const {
+  if (src == dst) return net::kUnlimitedRate;
+  const auto& links = path(src, dst);
+  if (links.empty()) return 0;  // unreachable
+  net::Bps bottleneck = net::kUnlimitedRate;
+  for (net::LinkId l : links) bottleneck = std::min(bottleneck, link_capacity(l));
+  return bottleneck;
+}
+
+}  // namespace bass::sched

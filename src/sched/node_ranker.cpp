@@ -1,0 +1,20 @@
+#include "sched/node_ranker.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace bass::sched {
+
+std::vector<net::NodeId> rank_nodes(const cluster::ClusterState& cluster,
+                                    const NetworkView& view) {
+  std::vector<net::NodeId> nodes = cluster.schedulable_nodes();
+  std::sort(nodes.begin(), nodes.end(), [&](net::NodeId a, net::NodeId b) {
+    return std::make_tuple(-cluster.cpu_free(a), -view.node_link_capacity(a),
+                           -cluster.memory_free(a), a) <
+           std::make_tuple(-cluster.cpu_free(b), -view.node_link_capacity(b),
+                           -cluster.memory_free(b), b);
+  });
+  return nodes;
+}
+
+}  // namespace bass::sched

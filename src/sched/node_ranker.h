@@ -1,0 +1,17 @@
+// Node ranking for the BASS packer (§3.2.1): "rank nodes based on their
+// CPU, memory, and combined capacity across all of the node's links".
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sched/network_view.h"
+
+namespace bass::sched {
+
+// Schedulable nodes ordered best-first: most free CPU, then largest
+// combined link capacity, then most free memory, then lowest id.
+std::vector<net::NodeId> rank_nodes(const cluster::ClusterState& cluster,
+                                    const NetworkView& view);
+
+}  // namespace bass::sched

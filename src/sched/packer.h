@@ -1,0 +1,37 @@
+// Greedy bin packing of an ordered component list onto ranked nodes, with
+// CPU/memory as hard constraints and edge bandwidth reservations checked
+// against link capacities along routed paths (§3.2.1).
+//
+// Two filling disciplines, matching the two heuristics' intent:
+//  * sequential_pack — fill the current node until something doesn't fit,
+//    then advance and never go back (BFS heuristic: producers and their
+//    heaviest consumers cluster on the best node).
+//  * path_pack — each heaviest path restarts from the best-ranked node so
+//    whole chains co-locate; leftover short paths first-fit into remaining
+//    gaps (longest-path heuristic).
+// Both fall back to a first-fit scan before declaring failure, so a large
+// mid-order component cannot strand free capacity.
+#pragma once
+
+#include "app/app_graph.h"
+#include "cluster/cluster.h"
+#include "sched/network_view.h"
+#include "sched/placement.h"
+#include "util/expected.h"
+
+namespace bass::sched {
+
+struct PackInput {
+  const app::AppGraph& app;
+  const cluster::ClusterState& cluster;
+  const NetworkView& view;
+  std::vector<net::NodeId> ranked_nodes;  // best first
+};
+
+util::Expected<Placement> sequential_pack(const PackInput& input,
+                                          const std::vector<app::ComponentId>& order);
+
+util::Expected<Placement> path_pack(const PackInput& input,
+                                    const std::vector<std::vector<app::ComponentId>>& paths);
+
+}  // namespace bass::sched

@@ -1,0 +1,19 @@
+// A placement maps every component of an application to a mesh node.
+#pragma once
+
+#include <unordered_map>
+
+#include "app/app_graph.h"
+#include "net/types.h"
+
+namespace bass::sched {
+
+using Placement = std::unordered_map<app::ComponentId, net::NodeId>;
+
+// Convenience lookup with an explicit miss value.
+inline net::NodeId node_of(const Placement& p, app::ComponentId c) {
+  const auto it = p.find(c);
+  return it == p.end() ? net::kInvalidNode : it->second;
+}
+
+}  // namespace bass::sched

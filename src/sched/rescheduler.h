@@ -1,0 +1,26 @@
+// Migration target selection (§3.2.2): "identify candidate nodes where the
+// component already has dependencies deployed; re-deploy on the node which
+// ranks highest in the number of existing deployed dependencies, with
+// sufficient CPU, memory, and bandwidth" — minimizing inter-node transfer.
+#pragma once
+
+#include <optional>
+
+#include "app/app_graph.h"
+#include "cluster/cluster.h"
+#include "sched/network_view.h"
+#include "sched/placement.h"
+
+namespace bass::sched {
+
+// Picks the node the migrating component should move to, or nullopt when no
+// node (other than its current one) can satisfy its demands. `placement` is
+// the current deployment; `cluster` still accounts the component at its old
+// node (its resources there are freed by the caller after the move).
+std::optional<net::NodeId> pick_migration_target(const app::AppGraph& app,
+                                                 const Placement& placement,
+                                                 app::ComponentId component,
+                                                 const cluster::ClusterState& cluster,
+                                                 const NetworkView& view);
+
+}  // namespace bass::sched

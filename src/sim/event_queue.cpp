@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bass::sim {
+
+EventId EventQueue::push(Time at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted && live_count_ > 0) --live_count_;
+  return inserted;
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+Time EventQueue::pop_and_run() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  // Move the callback out before popping so the entry can be released.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_count_;
+  entry.fn();
+  return entry.at;
+}
+
+}  // namespace bass::sim

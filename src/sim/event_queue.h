@@ -1,0 +1,59 @@
+// Cancellable priority event queue. Events at equal timestamps fire in
+// insertion order (FIFO), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bass::sim {
+
+// Opaque handle used to cancel a scheduled event. 0 is never a valid id.
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  // Enqueues `fn` to fire at absolute time `at`. Returns a cancellation id.
+  EventId push(Time at, std::function<void()> fn);
+
+  // Cancels a pending event; returns false if it already fired or was
+  // cancelled. Cancellation is lazy: the entry is dropped when popped.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  // Timestamp of the next live event; only valid when !empty().
+  Time next_time();
+
+  // Pops and runs the next live event, returning its timestamp.
+  Time pop_and_run();
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;  // doubles as the FIFO tiebreaker: ids are monotonic
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  // Drops cancelled entries from the top of the heap.
+  void skip_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace bass::sim

@@ -1,0 +1,61 @@
+// The simulation driver: a virtual clock plus the event queue. Everything in
+// the repository (network, workloads, monitors, controllers) schedules
+// callbacks here; running the simulation advances virtual time with zero
+// wall-clock dependence.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace bass::sim {
+
+class Simulation {
+ public:
+  Time now() const { return now_; }
+
+  // Schedules `fn` after `delay` (clamped to >= 0). Returns a cancel handle.
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `at` (clamped to >= now).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Repeats `fn` every `period` starting at now + period, until the returned
+  // handle is cancelled via cancel_periodic().
+  class PeriodicHandle;
+  EventId schedule_periodic(Duration period, std::function<void()> fn);
+  // Periodic tasks re-arm themselves, so the live EventId changes every
+  // tick; cancel them through this map-based API instead of cancel().
+  bool cancel_periodic(EventId handle);
+
+  // Runs events until the queue drains or the next event is past `deadline`.
+  // The clock lands exactly on `deadline`.
+  void run_until(Time deadline);
+
+  // Runs events until the queue is fully drained.
+  void run_all();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Periodic {
+    Duration period;
+    std::function<void()> fn;
+    EventId current_event = kInvalidEvent;
+    bool cancelled = false;
+  };
+
+  void arm_periodic(EventId handle);
+
+  EventQueue queue_;
+  Time now_ = 0;
+  EventId next_periodic_ = 1;
+  std::unordered_map<EventId, Periodic> periodics_;
+};
+
+}  // namespace bass::sim

@@ -1,0 +1,37 @@
+// Simulated time. Integer microseconds everywhere: no floating-point event
+// ordering, exact replay, cheap arithmetic.
+#pragma once
+
+#include <cstdint>
+
+namespace bass::sim {
+
+// Microseconds since simulation start.
+using Time = std::int64_t;
+// A span of simulated time, also in microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+
+constexpr Duration micros(std::int64_t n) { return n; }
+constexpr Duration millis(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+constexpr Duration minutes(std::int64_t n) { return n * kMinute; }
+
+// Fractional seconds helper for workload code (rounded to whole micros).
+constexpr Duration seconds_f(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace bass::sim

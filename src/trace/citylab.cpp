@@ -1,0 +1,66 @@
+#include "trace/citylab.h"
+
+namespace bass::trace {
+
+CityLabMesh citylab_mesh() {
+  CityLabMesh mesh;
+  const net::NodeId n0 = mesh.topology.add_node("ctrl");
+  const net::NodeId n1 = mesh.topology.add_node("node1");
+  const net::NodeId n2 = mesh.topology.add_node("node2");
+  const net::NodeId n3 = mesh.topology.add_node("node3");
+  const net::NodeId n4 = mesh.topology.add_node("node4");
+  mesh.workers = {n1, n2, n3, n4};
+
+  // Link classes: the control-plane uplink is stable and fat; worker-worker
+  // links span the Fig. 2 stable/variable classes; node3-node4 is the
+  // 25 Mbps link from the Fig. 8 walkthrough.
+  mesh.links = {
+      {n0, n1, net::mbps(40), 0.08, 0.0, 0.5},
+      {n0, n3, net::mbps(30), 0.08, 0.0, 0.5},
+      {n1, n2, net::kbps(19900), 0.10, 0.0012, 0.5},  // Fig. 2 stable class
+      {n1, n3, net::mbps(12), 0.18, 0.0012, 0.5},
+      {n2, n3, net::kbps(7620), 0.27, 0.002, 0.25},  // Fig. 2 variable class
+      {n2, n4, net::mbps(12), 0.20, 0.002, 0.25},
+      {n3, n4, net::mbps(25), 0.12, 0.0012, 0.5},
+  };
+  for (const auto& l : mesh.links) {
+    mesh.topology.add_link(l.a, l.b, l.mean_bps);
+  }
+  return mesh;
+}
+
+void bind_citylab_traces(const CityLabMesh& mesh, TracePlayer& player,
+                         sim::Duration duration, bool fades, std::uint64_t seed) {
+  std::uint64_t link_seed = seed;
+  for (const auto& l : mesh.links) {
+    GeneratorParams params;
+    params.mean_bps = l.mean_bps;
+    params.stddev_frac = l.stddev_frac;
+    params.duration = duration;
+    params.fade_probability = fades ? l.fade_probability : 0.0;
+    params.fade_depth_frac = l.fade_depth;
+    // Fluctuations that warrant migration "happen in the order of minutes"
+    // (§6.3.4) — fades last a couple of minutes.
+    params.fade_duration = sim::seconds(150);
+    util::Rng rng(link_seed++);
+    player.add_bidirectional(l.a, l.b, generate_trace(params, rng));
+  }
+}
+
+GeneratorParams fig2_stable_link() {
+  GeneratorParams p;
+  p.mean_bps = net::kbps(19900);  // 19.9 Mbps
+  p.stddev_frac = 0.10;
+  p.duration = sim::minutes(35);
+  return p;
+}
+
+GeneratorParams fig2_variable_link() {
+  GeneratorParams p;
+  p.mean_bps = net::kbps(7620);  // 7.62 Mbps
+  p.stddev_frac = 0.27;
+  p.duration = sim::minutes(35);
+  return p;
+}
+
+}  // namespace bass::trace

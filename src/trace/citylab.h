@@ -1,0 +1,54 @@
+// The CityLab emulation preset used by the §6.3 experiments: the 5-node
+// subset of the Antwerp testbed (Fig. 15a) and per-link bandwidth traces.
+//
+// The paper's figure gives the topology and half-hour average bandwidths;
+// exact per-link values are not published in the text, so we encode a
+// plausible instance anchored on the values the paper does state:
+//   * the node3–node4 link averages 25 Mbps (Fig. 8 experiment),
+//   * one link class behaves like Fig. 2's stable link (≈19.9 Mbps, σ 10 %),
+//   * another like Fig. 2's variable link (≈7.62 Mbps, σ 27 %).
+// Node 0 hosts the control plane (robust, well-connected); nodes 1–4 are
+// workers. All links are bidirectional with symmetric traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "trace/generator.h"
+#include "trace/player.h"
+
+namespace bass::trace {
+
+struct CityLabLink {
+  net::NodeId a;
+  net::NodeId b;
+  net::Bps mean_bps;
+  double stddev_frac;
+  double fade_probability;
+  // Depth of interference fades as a fraction of the mean: strong backbone
+  // links degrade to ~half capacity, marginal links collapse to a quarter.
+  double fade_depth;
+};
+
+struct CityLabMesh {
+  net::Topology topology;
+  std::vector<CityLabLink> links;
+  // Worker nodes (node 0 is the control plane / client entry point).
+  std::vector<net::NodeId> workers;
+};
+
+// Builds the 5-node topology with link capacities set to the trace means.
+CityLabMesh citylab_mesh();
+
+// Generates one trace per link (both directions share it) and binds them to
+// `player`. `duration` bounds the trace; `fades` enables the deep-fade
+// events that drive the migration experiments (§6.3.2).
+void bind_citylab_traces(const CityLabMesh& mesh, TracePlayer& player,
+                         sim::Duration duration, bool fades, std::uint64_t seed);
+
+// The two standalone Fig. 2 links: {stable, variable} generator parameters.
+GeneratorParams fig2_stable_link();
+GeneratorParams fig2_variable_link();
+
+}  // namespace bass::trace

@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace bass::util {
+
+namespace {
+
+void write_row(std::FILE* file, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) std::fputc(',', file);
+    std::fputs(fields[i].c_str(), file);
+  }
+  std::fputc('\n', file);
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ != nullptr) write_row(file_, header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (file_ != nullptr) write_row(file_, fields);
+}
+
+std::optional<CsvTable> read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = split(line, ',');
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return std::nullopt;  // empty file
+  return table;
+}
+
+}  // namespace bass::util

@@ -1,0 +1,34 @@
+// CSV emit/parse used by the trace module (import/export of bandwidth
+// traces) and the bench harnesses (optional CSV dumps of series).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bass::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Check ok() before use.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+// Parses a simple (unquoted) CSV file; nullopt if the file cannot be read.
+std::optional<CsvTable> read_csv(const std::string& path);
+
+}  // namespace bass::util

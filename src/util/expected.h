@@ -1,0 +1,51 @@
+// Minimal expected/result type: a value or a human-readable error string.
+// Used for fallible operations that are part of normal control flow
+// (e.g. "this application cannot be placed"), where exceptions would be
+// the wrong tool.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bass::util {
+
+struct Error {
+  std::string message;
+};
+
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(data_).message;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace bass::util

@@ -1,0 +1,98 @@
+#include "util/ini.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace bass::util {
+
+std::optional<std::string> IniSection::get(const std::string& key) const {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string IniSection::get_or(const std::string& key, const std::string& fallback) const {
+  const auto v = get(key);
+  return v ? *v : fallback;
+}
+
+double IniSection::number_or(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  return end == v->c_str() ? fallback : parsed;
+}
+
+bool IniSection::flag_or(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<const IniSection*> IniFile::of_kind(const std::string& kind) const {
+  std::vector<const IniSection*> out;
+  for (const auto& s : sections) {
+    if (!s.heading.empty() && s.kind() == kind) out.push_back(&s);
+  }
+  return out;
+}
+
+const IniSection* IniFile::first_of_kind(const std::string& kind) const {
+  const auto all = of_kind(kind);
+  return all.empty() ? nullptr : all.front();
+}
+
+Expected<IniFile> parse_ini(const std::string& text) {
+  IniFile file;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments (whole-line or trailing) and whitespace.
+    const auto hash = raw.find_first_of("#;");
+    std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return make_error(str_format("line %d: unterminated section heading", line_no));
+      }
+      IniSection section;
+      for (const auto& word : split(trim(line.substr(1, line.size() - 2)), ' ')) {
+        if (!word.empty()) section.heading.push_back(word);
+      }
+      if (section.heading.empty()) {
+        return make_error(str_format("line %d: empty section heading", line_no));
+      }
+      file.sections.push_back(std::move(section));
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return make_error(str_format("line %d: expected 'key = value'", line_no));
+    }
+    if (file.sections.empty()) {
+      return make_error(str_format("line %d: entry before any section", line_no));
+    }
+    file.sections.back().entries.emplace_back(trim(line.substr(0, eq)),
+                                              trim(line.substr(eq + 1)));
+  }
+  return file;
+}
+
+Expected<IniFile> load_ini(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return make_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_ini(buffer.str());
+}
+
+}  // namespace bass::util

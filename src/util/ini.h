@@ -1,0 +1,43 @@
+// Minimal INI-style config parser for scenario files (see
+// examples/scenarios/). Deliberately tiny: sections with space-separated
+// heading words, `key = value` pairs, `#`/`;` comments, repeated sections
+// allowed and order-preserving.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace bass::util {
+
+struct IniSection {
+  // Heading words: "[link alpha beta]" -> {"link", "alpha", "beta"}.
+  std::vector<std::string> heading;
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  const std::string& kind() const { return heading.front(); }
+  // nullopt when the key is absent.
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  double number_or(const std::string& key, double fallback) const;
+  bool flag_or(const std::string& key, bool fallback) const;
+};
+
+struct IniFile {
+  std::vector<IniSection> sections;
+
+  // All sections whose first heading word is `kind`, in file order.
+  std::vector<const IniSection*> of_kind(const std::string& kind) const;
+  // The first such section, or nullptr.
+  const IniSection* first_of_kind(const std::string& kind) const;
+};
+
+// Parses INI text; error message includes the offending line number.
+Expected<IniFile> parse_ini(const std::string& text);
+
+// Reads and parses a file.
+Expected<IniFile> load_ini(const std::string& path);
+
+}  // namespace bass::util

@@ -1,0 +1,54 @@
+// Minimal leveled logger. Logging goes to stderr; the level is a process-wide
+// setting so benches can silence the library while examples narrate.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bass::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level. Messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits one formatted line ("[level] message") if `level` passes the filter.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+// Stream-style builder: LogStream(kInfo) << "x=" << x; emits on destruction.
+// Formatting is skipped entirely when the level is filtered out, so logging
+// in hot paths costs a single comparison when disabled.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level)
+      : level_(level), enabled_(level >= log_level()) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  LogStream(LogStream&&) = default;
+  ~LogStream() {
+    if (enabled_) log_line(level_, out_.str());
+  }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (enabled_) out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace bass::util

@@ -1,0 +1,50 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace bass::util {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double accum = 0.0;
+  for (double v : values) accum += (v - m) * (v - m);
+  return std::sqrt(accum / static_cast<double>(values.size()));
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 100.0) return sorted.back();
+  // Nearest-rank with linear interpolation between adjacent ranks.
+  const double pos = (q / 100.0) * (static_cast<double>(sorted.size()) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double percentile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, q);
+}
+
+double min_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace bass::util

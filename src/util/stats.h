@@ -1,0 +1,24 @@
+// Small statistics helpers over value samples (used by metrics and benches).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bass::util {
+
+// Arithmetic mean; 0.0 for an empty input.
+double mean(const std::vector<double>& values);
+
+// Population standard deviation; 0.0 for fewer than two samples.
+double stddev(const std::vector<double>& values);
+
+// Nearest-rank percentile, q in [0,100]. Sorts a copy; 0.0 for empty input.
+double percentile(std::vector<double> values, double q);
+
+// Percentile over an already ascending-sorted vector (no copy).
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+double min_of(const std::vector<double>& values);
+double max_of(const std::vector<double>& values);
+
+}  // namespace bass::util

@@ -1,0 +1,22 @@
+// printf-style formatting into std::string (GCC 12 lacks std::format) and
+// small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bass::util {
+
+// printf-style format into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+// Human-readable rate, e.g. "7.62 Mbps".
+std::string format_bps(double bits_per_second);
+
+}  // namespace bass::util

@@ -1,0 +1,156 @@
+#include "workload/camera_pipeline.h"
+
+#include <cassert>
+
+namespace bass::workload {
+
+CameraPipelineEngine::CameraPipelineEngine(core::Orchestrator& orchestrator,
+                                           core::DeploymentId deployment,
+                                           CameraPipelineConfig config)
+    : orch_(&orchestrator),
+      deployment_(deployment),
+      config_(config),
+      rng_(config.seed),
+      servers_(static_cast<std::size_t>(orchestrator.app(deployment).component_count())) {
+  const auto& g = orch_->app(deployment_);
+  camera_ = g.find("camera-stream");
+  sampler_ = g.find("frame-sampler");
+  detector_ = g.find("object-detector");
+  image_ = g.find("image-listener");
+  label_ = g.find("label-listener");
+  assert(camera_ != app::kInvalidComponent && detector_ != app::kInvalidComponent &&
+         "deployment is not the camera pipeline app");
+  for (const app::Edge& e : g.edges()) {
+    if (e.from == camera_ && e.to == sampler_) cam_samp_ = e;
+    if (e.from == sampler_ && e.to == detector_) samp_det_ = e;
+    if (e.from == detector_ && e.to == image_) det_img_ = e;
+    if (e.from == detector_ && e.to == label_) det_lbl_ = e;
+  }
+}
+
+CameraPipelineEngine::~CameraPipelineEngine() { stop(); }
+
+void CameraPipelineEngine::start() {
+  if (running_) return;
+  running_ = true;
+  orch_->add_listener(deployment_, this);
+  ticker_ = orch_->simulation().schedule_periodic(
+      sim::seconds_f(1.0 / config_.fps), [this] { capture(); });
+}
+
+void CameraPipelineEngine::stop() {
+  if (!running_) return;
+  running_ = false;
+  orch_->simulation().cancel_periodic(ticker_);
+  ticker_ = sim::kInvalidEvent;
+}
+
+bool CameraPipelineEngine::stage_up(app::ComponentId c) const {
+  return orch_->is_up(deployment_, c);
+}
+
+void CameraPipelineEngine::acquire_slot(app::ComponentId c, std::function<void()> ready) {
+  Server& server = servers_[static_cast<std::size_t>(c)];
+  const int concurrency = std::max(orch_->app(deployment_).component(c).concurrency, 1);
+  if (server.busy < concurrency) {
+    ++server.busy;
+    ready();
+    return;
+  }
+  server.waiting.push_back(std::move(ready));
+}
+
+void CameraPipelineEngine::release_slot(app::ComponentId c) {
+  Server& server = servers_[static_cast<std::size_t>(c)];
+  if (!server.waiting.empty()) {
+    auto next = std::move(server.waiting.front());
+    server.waiting.pop_front();
+    next();
+    return;
+  }
+  --server.busy;
+}
+
+void CameraPipelineEngine::drop_frame() {
+  ++dropped_;
+  --in_flight_;
+}
+
+// Transfers `edge`'s payload between the two components' current nodes,
+// recording offered/delivered bytes, then continues with `next`.
+void CameraPipelineEngine::ship(const app::Edge& edge, std::int64_t bytes,
+                                std::function<void()> next) {
+  auto& stats = orch_->traffic_stats(deployment_);
+  stats.record_offered(edge.from, edge.to, bytes);
+  orch_->network().start_transfer(
+      orch_->node_of(deployment_, edge.from), orch_->node_of(deployment_, edge.to),
+      bytes, [this, edge, bytes, next = std::move(next)] {
+        orch_->traffic_stats(deployment_).record(edge.from, edge.to, bytes);
+        next();
+      });
+}
+
+// Runs `component`'s per-frame service (slot + service_time), then `next`.
+void CameraPipelineEngine::serve(app::ComponentId component, std::function<void()> next) {
+  acquire_slot(component, [this, component, next = std::move(next)] {
+    const auto service = orch_->app(deployment_).component(component).service_time;
+    orch_->simulation().schedule_after(service, [this, component,
+                                                 next = std::move(next)] {
+      release_slot(component);
+      next();
+    });
+  });
+}
+
+void CameraPipelineEngine::capture() {
+  ++captured_;
+  // Real-time buffer: a backed-up or broken pipeline discards new frames.
+  if (in_flight_ >= config_.frame_buffer || !stage_up(camera_) ||
+      !stage_up(sampler_) || !stage_up(detector_)) {
+    ++dropped_;
+    return;
+  }
+  ++in_flight_;
+  const sim::Time t0 = orch_->simulation().now();
+  serve(camera_, [this, t0] {
+    if (!stage_up(sampler_)) return drop_frame();
+    ship(cam_samp_, cam_samp_.request_bytes, [this, t0] { sampler_stage(t0); });
+  });
+}
+
+void CameraPipelineEngine::sampler_stage(sim::Time t0) {
+  if (!stage_up(sampler_)) return drop_frame();
+  to_sampler_.record(orch_->simulation().now(), orch_->simulation().now() - t0);
+  serve(sampler_, [this, t0] {
+    // Only dissimilar frames go on to the detector.
+    if (config_.sample_ratio < 1.0 && !rng_.chance(config_.sample_ratio)) {
+      ++sampled_out_;
+      --in_flight_;
+      return;
+    }
+    if (!stage_up(detector_)) return drop_frame();
+    ship(samp_det_, samp_det_.request_bytes, [this, t0] { detector_stage(t0); });
+  });
+}
+
+void CameraPipelineEngine::detector_stage(sim::Time t0) {
+  if (!stage_up(detector_)) return drop_frame();
+  to_detector_.record(orch_->simulation().now(), orch_->simulation().now() - t0);
+  serve(detector_, [this, t0] {
+    // Fan out annotated frames and labels; the frame completes when the
+    // annotated image lands (labels are fire-and-forget telemetry).
+    if (stage_up(label_)) {
+      ship(det_lbl_, det_lbl_.request_bytes, [] {});
+    }
+    if (!stage_up(image_)) return drop_frame();
+    ship(det_img_, det_img_.request_bytes, [this, t0] {
+      const sim::Time now = orch_->simulation().now();
+      to_image_.record(now, now - t0);
+      e2e_.record(now, now - t0);
+      ++annotated_;
+      --in_flight_;
+    });
+  });
+}
+
+}  // namespace bass::workload

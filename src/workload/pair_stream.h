@@ -1,0 +1,57 @@
+// A minimal constant-bitrate workload between one component pair — the
+// Fig. 8 walkthrough's "component pair that requires at least 8 Mbps". The
+// engine keeps a stream open between the pair's current nodes, follows
+// migrations (with an outage while the moving end restarts), reports the
+// pair's goodput (delivered / required), and feeds the passive traffic
+// stats the bandwidth controller reads.
+#pragma once
+
+#include "core/orchestrator.h"
+#include "metrics/time_series.h"
+
+namespace bass::workload {
+
+struct PairStreamConfig {
+  app::ComponentId from = app::kInvalidComponent;
+  app::ComponentId to = app::kInvalidComponent;
+  net::Bps demand = net::mbps(8);
+  sim::Duration sample_interval = sim::seconds(1);
+};
+
+class PairStreamEngine final : public core::DeploymentListener {
+ public:
+  PairStreamEngine(core::Orchestrator& orchestrator, core::DeploymentId deployment,
+                   PairStreamConfig config);
+  ~PairStreamEngine() override;
+  PairStreamEngine(const PairStreamEngine&) = delete;
+  PairStreamEngine& operator=(const PairStreamEngine&) = delete;
+
+  void start();
+  void stop();
+
+  // Goodput fraction (delivered rate / demand) at each sample instant.
+  const metrics::TimeSeries& goodput_series() const { return goodput_; }
+  // Delivered rate in bps at each sample instant.
+  const metrics::TimeSeries& rate_series() const { return rate_; }
+
+  // DeploymentListener:
+  void on_component_down(app::ComponentId component) override;
+  void on_component_up(app::ComponentId component, net::NodeId node) override;
+
+ private:
+  void open();
+  void close();
+  void sample();
+
+  core::Orchestrator* orch_;
+  core::DeploymentId deployment_;
+  PairStreamConfig config_;
+  net::StreamId stream_ = 0;
+  bool connected_ = false;
+  bool running_ = false;
+  sim::EventId sampler_ = sim::kInvalidEvent;
+  metrics::TimeSeries goodput_;
+  metrics::TimeSeries rate_;
+};
+
+}  // namespace bass::workload

@@ -1,0 +1,108 @@
+// Open-loop RPC workload over a deployed application DAG — the engine
+// behind the social-network experiments (DeathStarBench's wrk-style load
+// generator) and the camera pipeline (each frame is one request through the
+// pipeline DAG).
+//
+// Per request: the client node sends the request to the root component;
+// each component queues for one of its `concurrency` server slots, computes
+// for `service_time`, then invokes each outgoing edge (subject to the
+// edge's probability) in parallel — request bytes over the mesh, recursive
+// processing, response bytes back. The request completes when the root's
+// response reaches the client; end-to-end latency therefore includes
+// transfer time, queueing on saturated links, and server queueing — the
+// three effects the paper's latency plots are made of.
+//
+// Components that are down (mid-migration) queue incoming invocations and
+// drain them on restart, reproducing the paper's migration latency spikes
+// (Fig. 14(a)).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/orchestrator.h"
+#include "metrics/latency_recorder.h"
+#include "util/rng.h"
+
+namespace bass::workload {
+
+struct RequestWorkloadConfig {
+  // Node where the load generator runs; kInvalidNode = same node as the
+  // root component (resolved at start()).
+  net::NodeId client_node = net::kInvalidNode;
+  double rps = 50.0;
+  enum class Arrival { kConstant, kExponential };
+  Arrival arrival = Arrival::kConstant;
+  std::uint64_t seed = 1;
+  std::int64_t request_bytes = 256;    // client -> root
+  std::int64_t response_bytes = 2048;  // root -> client
+  // Connection-pool cap of the load generator: arrivals beyond this many
+  // in-flight requests are shed (counted, not issued). Real benchmark
+  // clients (wrk/wrk2 with a fixed connection count) behave this way; it
+  // bounds queue growth during overload so latency plateaus instead of
+  // growing with the length of the congestion episode. 0 = unbounded.
+  std::int64_t max_in_flight = 0;
+};
+
+class RequestEngine final : public core::DeploymentListener {
+ public:
+  RequestEngine(core::Orchestrator& orchestrator, core::DeploymentId deployment,
+                RequestWorkloadConfig config);
+  ~RequestEngine() override;
+  RequestEngine(const RequestEngine&) = delete;
+  RequestEngine& operator=(const RequestEngine&) = delete;
+
+  // Begins issuing requests (and registers as a deployment listener).
+  void start();
+  // Stops new arrivals; in-flight requests run to completion.
+  void stop();
+
+  const metrics::LatencyRecorder& latencies() const { return latencies_; }
+  std::int64_t issued() const { return issued_; }
+  std::int64_t completed() const { return completed_; }
+  std::int64_t in_flight() const { return issued_ - completed_; }
+  // Arrivals dropped because the connection pool was exhausted.
+  std::int64_t shed() const { return shed_; }
+
+  // DeploymentListener:
+  void on_component_up(app::ComponentId component, net::NodeId node) override;
+
+ private:
+  void schedule_next_arrival();
+  void arrive();
+  // Invokes `component` from `caller_node`: request transfer, service,
+  // children, response transfer; `done` fires when the response lands back
+  // at the caller.
+  void call(app::ComponentId component, net::NodeId caller_node,
+            std::int64_t request_bytes, std::int64_t response_bytes,
+            std::function<void()> done);
+  void process(app::ComponentId component, net::NodeId caller_node,
+               std::int64_t response_bytes, std::function<void()> done);
+  void acquire_slot(app::ComponentId component, std::function<void()> ready);
+  void release_slot(app::ComponentId component);
+
+  core::Orchestrator* orch_;
+  core::DeploymentId deployment_;
+  RequestWorkloadConfig config_;
+  util::Rng rng_;
+  app::ComponentId root_ = app::kInvalidComponent;
+
+  struct Server {
+    int busy = 0;
+    std::deque<std::function<void()>> waiting;
+  };
+  std::vector<Server> servers_;
+  // Invocations parked while their component is down.
+  std::vector<std::deque<std::function<void()>>> parked_;
+
+  metrics::LatencyRecorder latencies_;
+  std::int64_t issued_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t shed_ = 0;
+  bool running_ = false;
+  sim::EventId arrival_event_ = sim::kInvalidEvent;
+};
+
+}  // namespace bass::workload

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "app/catalog.h"
+#include "controller/migration_policy.h"
+
+namespace bass::controller {
+namespace {
+
+MigrationParams params_with(double threshold, double headroom) {
+  MigrationParams p;
+  p.utilization_threshold = threshold;
+  p.headroom_frac = headroom;
+  return p;
+}
+
+EdgeObservation obs(net::Bps required, net::Bps measured, net::Bps capacity,
+                    app::ComponentId from = 0, app::ComponentId to = 1) {
+  EdgeObservation o;
+  o.from = from;
+  o.to = to;
+  o.required = required;
+  o.measured = measured;
+  o.path_capacity = capacity;
+  return o;
+}
+
+TEST(EdgeViolates, RequiresHeadroomPlusATrigger) {
+  const auto p = params_with(0.5, 0.2);
+  // High utilization + insufficient headroom: violation.
+  EXPECT_TRUE(edge_violates(obs(net::mbps(8), net::mbps(6), net::mbps(7)), p));
+  // High utilization but capacity comfortably covers requirement+headroom.
+  EXPECT_FALSE(edge_violates(obs(net::mbps(8), net::mbps(20), net::mbps(40)), p));
+  // Small requirement, modest usage, link has plenty of headroom: healthy.
+  EXPECT_FALSE(edge_violates(obs(net::mbps(2), net::mbps(1), net::mbps(7)), p));
+  // Requirement no longer fits the degraded link and the pair receives
+  // well under its quota: the proactive starvation trigger fires.
+  EXPECT_TRUE(edge_violates(obs(net::mbps(8), net::mbps(1), net::mbps(7)), p));
+}
+
+TEST(EdgeViolates, ProbedHeadroomViolationEnablesStarvationTrigger) {
+  const auto p = params_with(0.5, 0.2);
+  // Small requirement (arithmetic headroom fine), but the monitor reports
+  // the link's headroom gone and the pair only gets 30% of what it offers.
+  auto o = obs(net::mbps(2), net::kbps(600), net::mbps(10));
+  o.offered = net::mbps(2);
+  EXPECT_FALSE(edge_violates(o, p));  // probe says the path is healthy
+  o.path_headroom_ok = false;
+  EXPECT_TRUE(edge_violates(o, p));
+}
+
+TEST(EdgeViolates, IdlePairOnBusyHealthyLinkIsNotStarved) {
+  const auto p = params_with(0.5, 0.2);
+  // Nothing offered, nothing measured, requirement fits: healthy.
+  auto o = obs(net::mbps(2), 0, net::mbps(10));
+  o.offered = 0;
+  EXPECT_FALSE(edge_violates(o, p));
+}
+
+TEST(EdgeViolates, DeadPathAlwaysViolates) {
+  const auto p = params_with(0.5, 0.2);
+  EXPECT_TRUE(edge_violates(obs(net::mbps(1), 0, 0), p));
+}
+
+TEST(EdgeViolates, ThresholdSweepDirection) {
+  // Same observation, rising thresholds: violation must flip off — lower
+  // thresholds migrate more eagerly (the Figs. 14(c,d)/16 semantics).
+  const auto o = obs(net::mbps(10), net::mbps(6), net::mbps(10));
+  EXPECT_TRUE(edge_violates(o, params_with(0.25, 0.2)));
+  EXPECT_TRUE(edge_violates(o, params_with(0.50, 0.2)));
+  EXPECT_FALSE(edge_violates(o, params_with(0.75, 0.2)));
+  EXPECT_FALSE(edge_violates(o, params_with(0.95, 0.2)));
+}
+
+app::AppGraph pair_app() {
+  app::AppGraph g("pair");
+  g.add_component({.name = "a", .cpu_milli = 100, .memory_mb = 64});
+  g.add_component({.name = "b", .cpu_milli = 100, .memory_mb = 64});
+  g.add_dependency({.from = 0, .to = 1, .bandwidth = net::mbps(8)});
+  return g;
+}
+
+TEST(SelectCandidates, OnlyOneOfACommunicatingPairMigrates) {
+  const auto g = pair_app();
+  const auto p = params_with(0.5, 0.2);
+  // Both endpoints of this violating edge are raw candidates; the dedup
+  // must keep exactly one (§3.2.2 / Table 1 narrative).
+  const auto chosen =
+      select_migration_candidates(g, {obs(net::mbps(8), net::mbps(6), net::mbps(7))}, p);
+  EXPECT_EQ(chosen.size(), 1u);
+}
+
+TEST(SelectCandidates, HeaviestRequirementFirst) {
+  app::AppGraph g("three");
+  for (int i = 0; i < 4; ++i) {
+    g.add_component({.name = std::to_string(i), .cpu_milli = 100, .memory_mb = 64});
+  }
+  g.add_dependency({.from = 0, .to = 1, .bandwidth = net::mbps(2)});
+  g.add_dependency({.from = 2, .to = 3, .bandwidth = net::mbps(9)});
+  const auto p = params_with(0.5, 0.2);
+  const auto chosen = select_migration_candidates(
+      g,
+      {obs(net::mbps(2), net::mbps(2), net::mbps(2), 0, 1),
+       obs(net::mbps(9), net::mbps(8), net::mbps(8), 2, 3)},
+      p);
+  ASSERT_GE(chosen.size(), 2u);
+  // A component of the 9 Mbps pair is ranked before the 2 Mbps pair's.
+  EXPECT_TRUE(chosen[0] == 2 || chosen[0] == 3);
+}
+
+TEST(SelectCandidates, NoViolationsNoCandidates) {
+  const auto g = pair_app();
+  const auto p = params_with(0.5, 0.2);
+  EXPECT_TRUE(
+      select_migration_candidates(g, {obs(net::mbps(8), net::mbps(1), net::mbps(50))}, p)
+          .empty());
+  EXPECT_TRUE(select_migration_candidates(g, {}, p).empty());
+}
+
+TEST(SelectCandidates, PinnedComponentsNeverSelected) {
+  app::AppGraph g("vc");
+  g.add_component({.name = "sfu", .cpu_milli = 100, .memory_mb = 64});
+  app::Component clients{.name = "clients", .cpu_milli = 0, .memory_mb = 0};
+  clients.pinned_node = 3;
+  g.add_component(clients);
+  g.add_dependency({.from = 0, .to = 1, .bandwidth = net::mbps(20)});
+  const auto p = params_with(0.5, 0.2);
+  const auto chosen = select_migration_candidates(
+      g, {obs(net::mbps(20), net::mbps(10), net::mbps(12), 0, 1)}, p);
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0], 0);  // the SFU moves, the attachment point can't
+}
+
+TEST(SelectCandidates, ChainDedupDropsSharedMiddle) {
+  // a-b-c chain where both edges violate. The dedup rule only forbids
+  // migrating *communicating pairs* together: the middle component b is
+  // dropped (it talks to both kept endpoints), while a and c — which do
+  // not communicate — may both migrate.
+  app::AppGraph g("chain");
+  for (int i = 0; i < 3; ++i) {
+    g.add_component({.name = std::to_string(i), .cpu_milli = 100, .memory_mb = 64});
+  }
+  g.add_dependency({.from = 0, .to = 1, .bandwidth = net::mbps(9)});
+  g.add_dependency({.from = 1, .to = 2, .bandwidth = net::mbps(8)});
+  const auto p = params_with(0.5, 0.2);
+  const auto chosen = select_migration_candidates(
+      g,
+      {obs(net::mbps(9), net::mbps(7), net::mbps(8), 0, 1),
+       obs(net::mbps(8), net::mbps(7), net::mbps(8), 1, 2)},
+      p);
+  // No chosen pair may share an edge.
+  for (app::ComponentId a : chosen) {
+    for (app::ComponentId b : chosen) {
+      for (const app::Edge& e : g.edges()) {
+        EXPECT_FALSE((e.from == a && e.to == b) || (e.from == b && e.to == a))
+            << "communicating pair " << a << "," << b << " both selected";
+      }
+    }
+  }
+  EXPECT_FALSE(chosen.empty());
+}
+
+TEST(CooldownTracker, RequiresPersistence) {
+  MigrationParams p;
+  p.cooldown = sim::seconds(60);
+  p.min_migration_gap = sim::seconds(60);
+  CooldownTracker t(p);
+  // First sighting arms the timer but does not fire.
+  EXPECT_FALSE(t.should_migrate(0, true, sim::seconds(0)));
+  EXPECT_FALSE(t.should_migrate(0, true, sim::seconds(30)));
+  EXPECT_TRUE(t.should_migrate(0, true, sim::seconds(60)));
+}
+
+TEST(CooldownTracker, ClearingViolationResetsTimer) {
+  MigrationParams p;
+  p.cooldown = sim::seconds(60);
+  CooldownTracker t(p);
+  EXPECT_FALSE(t.should_migrate(0, true, sim::seconds(0)));
+  EXPECT_FALSE(t.should_migrate(0, false, sim::seconds(30)));  // transient dip over
+  EXPECT_FALSE(t.should_migrate(0, true, sim::seconds(60)));   // re-armed at 60
+  EXPECT_FALSE(t.should_migrate(0, true, sim::seconds(90)));
+  EXPECT_TRUE(t.should_migrate(0, true, sim::seconds(120)));
+}
+
+TEST(CooldownTracker, MigrationGapSuppresssFlapping) {
+  MigrationParams p;
+  p.cooldown = sim::seconds(30);
+  p.min_migration_gap = sim::seconds(120);
+  CooldownTracker t(p);
+  EXPECT_FALSE(t.should_migrate(0, true, sim::seconds(0)));
+  EXPECT_TRUE(t.should_migrate(0, true, sim::seconds(30)));
+  t.note_migration(0, sim::seconds(30));
+  // Violation re-appears right away but the gap blocks re-migration.
+  EXPECT_FALSE(t.should_migrate(0, true, sim::seconds(60)));
+  EXPECT_FALSE(t.should_migrate(0, true, sim::seconds(90)));
+  // Gap over (150 >= 30+120) and violation persisted >= cooldown.
+  EXPECT_TRUE(t.should_migrate(0, true, sim::seconds(150)));
+}
+
+TEST(CooldownTracker, IndependentPerComponent) {
+  MigrationParams p;
+  p.cooldown = sim::seconds(60);
+  CooldownTracker t(p);
+  EXPECT_FALSE(t.should_migrate(0, true, sim::seconds(0)));
+  EXPECT_FALSE(t.should_migrate(1, true, sim::seconds(40)));
+  EXPECT_TRUE(t.should_migrate(0, true, sim::seconds(60)));
+  EXPECT_FALSE(t.should_migrate(1, true, sim::seconds(60)));
+  EXPECT_TRUE(t.should_migrate(1, true, sim::seconds(100)));
+}
+
+}  // namespace
+}  // namespace bass::controller

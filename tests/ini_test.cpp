@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "util/ini.h"
+
+namespace bass::util {
+namespace {
+
+TEST(Ini, ParsesSectionsAndEntries) {
+  const auto file = parse_ini(
+      "[node alpha]\n"
+      "cpu = 4000\n"
+      "memory_mb = 4096\n"
+      "\n"
+      "[link alpha beta]\n"
+      "capacity_mbps = 20\n");
+  ASSERT_TRUE(file.ok()) << file.error();
+  ASSERT_EQ(file.value().sections.size(), 2u);
+  const auto& node = file.value().sections[0];
+  EXPECT_EQ(node.heading, (std::vector<std::string>{"node", "alpha"}));
+  EXPECT_EQ(node.get("cpu"), "4000");
+  EXPECT_EQ(node.number_or("memory_mb", 0), 4096);
+  const auto& link = file.value().sections[1];
+  EXPECT_EQ(link.heading.size(), 3u);
+  EXPECT_EQ(link.heading[2], "beta");
+}
+
+TEST(Ini, CommentsAndWhitespace) {
+  const auto file = parse_ini(
+      "# full-line comment\n"
+      "[a]\n"
+      "  key =  value with spaces   ; trailing comment\n"
+      "other=1#comment\n");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file.value().sections[0].get("key"), "value with spaces");
+  EXPECT_EQ(file.value().sections[0].get("other"), "1");
+}
+
+TEST(Ini, FlagsParse) {
+  const auto file = parse_ini("[a]\nx = true\ny = off\nz = 1\n");
+  ASSERT_TRUE(file.ok());
+  const auto& s = file.value().sections[0];
+  EXPECT_TRUE(s.flag_or("x", false));
+  EXPECT_FALSE(s.flag_or("y", true));
+  EXPECT_TRUE(s.flag_or("z", false));
+  EXPECT_TRUE(s.flag_or("absent", true));
+}
+
+TEST(Ini, NumberFallbacks) {
+  const auto file = parse_ini("[a]\ngood = 2.5\nbad = xyz\n");
+  ASSERT_TRUE(file.ok());
+  const auto& s = file.value().sections[0];
+  EXPECT_DOUBLE_EQ(s.number_or("good", 0), 2.5);
+  EXPECT_DOUBLE_EQ(s.number_or("bad", 7), 7);
+  EXPECT_DOUBLE_EQ(s.number_or("absent", 9), 9);
+}
+
+TEST(Ini, OfKindPreservesOrder) {
+  const auto file = parse_ini("[node a]\n[link a b]\n[node b]\n");
+  ASSERT_TRUE(file.ok());
+  const auto nodes = file.value().of_kind("node");
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0]->heading[1], "a");
+  EXPECT_EQ(nodes[1]->heading[1], "b");
+  EXPECT_NE(file.value().first_of_kind("link"), nullptr);
+  EXPECT_EQ(file.value().first_of_kind("zzz"), nullptr);
+}
+
+TEST(Ini, ErrorsCarryLineNumbers) {
+  auto r = parse_ini("[ok]\nbroken line\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("line 2"), std::string::npos);
+
+  r = parse_ini("key = before any section\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("line 1"), std::string::npos);
+
+  r = parse_ini("[unterminated\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("line 1"), std::string::npos);
+
+  r = parse_ini("[]\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Ini, MissingFile) {
+  EXPECT_FALSE(load_ini("/no/such/scenario.ini").ok());
+}
+
+}  // namespace
+}  // namespace bass::util

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/maxmin.h"
+#include "util/rng.h"
+
+namespace bass::net {
+namespace {
+
+constexpr double kUnlimited = static_cast<double>(kUnlimitedRate);
+
+TEST(MaxMin, SingleFlowGetsLinkCapacity) {
+  const auto r = max_min_allocate({10e6}, {{kUnlimited, {0}}});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0], 10e6, 1.0);
+}
+
+TEST(MaxMin, TwoFlowsShareEqually) {
+  const auto r = max_min_allocate({10e6}, {{kUnlimited, {0}}, {kUnlimited, {0}}});
+  EXPECT_NEAR(r[0], 5e6, 1.0);
+  EXPECT_NEAR(r[1], 5e6, 1.0);
+}
+
+TEST(MaxMin, DemandCapRedistributesToOthers) {
+  // Flow 0 wants only 2 Mbps; flow 1 should take the remaining 8.
+  const auto r = max_min_allocate({10e6}, {{2e6, {0}}, {kUnlimited, {0}}});
+  EXPECT_NEAR(r[0], 2e6, 1.0);
+  EXPECT_NEAR(r[1], 8e6, 1.0);
+}
+
+TEST(MaxMin, MultiLinkBottleneck) {
+  // Flow over links {0,1}; link 1 is the 3 Mbps bottleneck.
+  const auto r = max_min_allocate({10e6, 3e6}, {{kUnlimited, {0, 1}}});
+  EXPECT_NEAR(r[0], 3e6, 1.0);
+}
+
+TEST(MaxMin, ClassicParkingLot) {
+  // Long flow crosses both links; two short flows cross one link each.
+  // Max-min: everyone gets 5 on link0=10, but link1=10 shared too -> all 5.
+  const auto r = max_min_allocate(
+      {10e6, 10e6},
+      {{kUnlimited, {0, 1}}, {kUnlimited, {0}}, {kUnlimited, {1}}});
+  EXPECT_NEAR(r[0], 5e6, 1.0);
+  EXPECT_NEAR(r[1], 5e6, 1.0);
+  EXPECT_NEAR(r[2], 5e6, 1.0);
+}
+
+TEST(MaxMin, AsymmetricParkingLot) {
+  // Link 0 = 10, link 1 = 4. The long flow is limited to 2 on link 1
+  // (shared with the short flow there); the short flow on link 0 takes 8.
+  const auto r = max_min_allocate(
+      {10e6, 4e6},
+      {{kUnlimited, {0, 1}}, {kUnlimited, {0}}, {kUnlimited, {1}}});
+  EXPECT_NEAR(r[0], 2e6, 1.0);
+  EXPECT_NEAR(r[1], 8e6, 1.0);
+  EXPECT_NEAR(r[2], 2e6, 1.0);
+}
+
+TEST(MaxMin, ZeroDemandGetsZero) {
+  const auto r = max_min_allocate({10e6}, {{0.0, {}}, {kUnlimited, {0}}});
+  EXPECT_EQ(r[0], 0.0);
+  EXPECT_NEAR(r[1], 10e6, 1.0);
+}
+
+TEST(MaxMin, ZeroCapacityLink) {
+  const auto r = max_min_allocate({0.0}, {{kUnlimited, {0}}});
+  EXPECT_NEAR(r[0], 0.0, 1e-3);
+}
+
+TEST(MaxMin, NoEntities) {
+  EXPECT_TRUE(max_min_allocate({10e6}, {}).empty());
+}
+
+// ---- Property suite: fairness invariants on random instances ----
+
+struct RandomCase {
+  std::uint64_t seed;
+};
+
+class MaxMinProperty : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(MaxMinProperty, FeasibleEfficientAndFair) {
+  util::Rng rng(GetParam().seed);
+  const int n_links = static_cast<int>(rng.uniform_int(1, 8));
+  const int n_flows = static_cast<int>(rng.uniform_int(1, 12));
+  std::vector<double> caps;
+  for (int l = 0; l < n_links; ++l) caps.push_back(rng.uniform(1e6, 50e6));
+  std::vector<AllocEntity> entities;
+  for (int f = 0; f < n_flows; ++f) {
+    AllocEntity e;
+    e.demand = rng.chance(0.3) ? static_cast<double>(kUnlimitedRate)
+                               : rng.uniform(0.5e6, 40e6);
+    // Random non-empty subset of links, no duplicates.
+    for (int l = 0; l < n_links; ++l) {
+      if (rng.chance(0.5)) e.links.push_back(l);
+    }
+    if (e.links.empty()) e.links.push_back(static_cast<LinkId>(rng.uniform_int(0, n_links - 1)));
+    entities.push_back(std::move(e));
+  }
+
+  const auto alloc = max_min_allocate(caps, entities);
+  ASSERT_EQ(alloc.size(), entities.size());
+
+  // (1) Feasibility: no link oversubscribed, no demand exceeded.
+  std::vector<double> used(static_cast<std::size_t>(n_links), 0.0);
+  for (std::size_t f = 0; f < entities.size(); ++f) {
+    EXPECT_GE(alloc[f], 0.0);
+    EXPECT_LE(alloc[f], entities[f].demand * (1 + 1e-9) + 1e-2);
+    for (LinkId l : entities[f].links) used[static_cast<std::size_t>(l)] += alloc[f];
+  }
+  for (int l = 0; l < n_links; ++l) {
+    EXPECT_LE(used[static_cast<std::size_t>(l)], caps[static_cast<std::size_t>(l)] + 1.0);
+  }
+
+  // (2) Efficiency (Pareto): every flow short of its demand crosses at
+  // least one saturated link.
+  for (std::size_t f = 0; f < entities.size(); ++f) {
+    if (alloc[f] + 1.0 >= entities[f].demand) continue;
+    bool bottlenecked = false;
+    for (LinkId l : entities[f].links) {
+      if (used[static_cast<std::size_t>(l)] >= caps[static_cast<std::size_t>(l)] - 1.0) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << f << " starved with slack everywhere";
+  }
+
+  // (3) Max-min fairness: a flow short of demand must, on some saturated
+  // link it crosses, have the (approx) maximal allocation among flows
+  // crossing that link.
+  for (std::size_t f = 0; f < entities.size(); ++f) {
+    if (alloc[f] + 1.0 >= entities[f].demand) continue;
+    bool has_bottleneck_where_maximal = false;
+    for (LinkId l : entities[f].links) {
+      if (used[static_cast<std::size_t>(l)] < caps[static_cast<std::size_t>(l)] - 1.0) continue;
+      bool is_max = true;
+      for (std::size_t g = 0; g < entities.size(); ++g) {
+        if (g == f) continue;
+        const bool crosses =
+            std::find(entities[g].links.begin(), entities[g].links.end(), l) !=
+            entities[g].links.end();
+        if (crosses && alloc[g] > alloc[f] + 1.0) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) {
+        has_bottleneck_where_maximal = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck_where_maximal) << "flow " << f << " not max-min fair";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MaxMinProperty,
+                         ::testing::Values(RandomCase{1}, RandomCase{2}, RandomCase{3},
+                                           RandomCase{4}, RandomCase{5}, RandomCase{6},
+                                           RandomCase{7}, RandomCase{8}, RandomCase{9},
+                                           RandomCase{10}, RandomCase{11}, RandomCase{12},
+                                           RandomCase{13}, RandomCase{14}, RandomCase{15},
+                                           RandomCase{16}, RandomCase{17}, RandomCase{18},
+                                           RandomCase{19}, RandomCase{20}));
+
+}  // namespace
+}  // namespace bass::net

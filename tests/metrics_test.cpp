@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "metrics/cdf.h"
+#include "metrics/latency_recorder.h"
+#include "metrics/time_series.h"
+
+namespace bass::metrics {
+namespace {
+
+TEST(TimeSeries, RecordAndValues) {
+  TimeSeries ts;
+  ts.record(sim::seconds(1), 10.0);
+  ts.record(sim::seconds(2), 20.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.values(), (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(TimeSeries, MeanInWindow) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.record(sim::seconds(i), static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(ts.mean_in(sim::seconds(2), sim::seconds(5)), 3.0);  // 2,3,4
+  EXPECT_DOUBLE_EQ(ts.mean_in(sim::seconds(100), sim::seconds(200)), 0.0);
+}
+
+TEST(TimeSeries, RollingMean) {
+  TimeSeries ts;
+  ts.record(sim::seconds(0), 10.0);
+  ts.record(sim::seconds(1), 20.0);
+  ts.record(sim::seconds(2), 30.0);
+  ts.record(sim::seconds(20), 100.0);
+  const TimeSeries rm = ts.rolling_mean(sim::seconds(10));
+  ASSERT_EQ(rm.size(), 4u);
+  EXPECT_DOUBLE_EQ(rm.samples()[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(rm.samples()[1].value, 15.0);
+  EXPECT_DOUBLE_EQ(rm.samples()[2].value, 20.0);
+  // The old samples fell out of the 10 s window.
+  EXPECT_DOUBLE_EQ(rm.samples()[3].value, 100.0);
+}
+
+TEST(TimeSeries, BinnedMean) {
+  TimeSeries ts;
+  ts.record(sim::millis(100), 1.0);
+  ts.record(sim::millis(900), 3.0);
+  ts.record(sim::millis(1500), 10.0);
+  const TimeSeries b = ts.binned_mean(sim::seconds(1));
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.samples()[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(b.samples()[1].value, 10.0);
+  EXPECT_EQ(b.samples()[1].at, sim::seconds(1));
+}
+
+TEST(TimeSeries, BinnedMeanEmptyAndZeroBin) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.binned_mean(sim::seconds(1)).empty());
+  ts.record(0, 1.0);
+  EXPECT_TRUE(ts.binned_mean(0).empty());
+}
+
+TEST(LatencyRecorder, Percentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record(sim::seconds(i), sim::millis(i));
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_NEAR(rec.mean_ms(), 50.5, 0.01);
+  EXPECT_NEAR(rec.median_ms(), 50.5, 0.01);
+  EXPECT_NEAR(rec.p99_ms(), 99.01, 0.1);
+  EXPECT_NEAR(rec.max_ms(), 100.0, 0.001);
+}
+
+TEST(LatencyRecorder, SeriesTracksCompletionTime) {
+  LatencyRecorder rec;
+  rec.record(sim::seconds(5), sim::millis(42));
+  ASSERT_EQ(rec.series().size(), 1u);
+  EXPECT_EQ(rec.series().samples()[0].at, sim::seconds(5));
+  EXPECT_DOUBLE_EQ(rec.series().samples()[0].value, 42.0);
+}
+
+TEST(Cdf, ValueAtAndProbabilityOf) {
+  Cdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_of(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.probability_of(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_of(10.0), 1.0);
+}
+
+TEST(Cdf, PointsAreMonotonic) {
+  Cdf cdf({5.0, 1.0, 3.0, 2.0, 4.0});
+  const auto pts = cdf.points(11);
+  ASSERT_EQ(pts.size(), 11u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].value, pts[i - 1].value);
+    EXPECT_GE(pts[i].probability, pts[i - 1].probability);
+  }
+}
+
+TEST(Cdf, Empty) {
+  Cdf cdf({});
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.probability_of(1.0), 0.0);
+  EXPECT_TRUE(cdf.points(5).empty());
+}
+
+}  // namespace
+}  // namespace bass::metrics
+
+namespace bass::metrics {
+namespace {
+
+TEST(TimeSeries, RollingMeanWindowBoundaryIsExclusive) {
+  TimeSeries ts;
+  ts.record(0, 10.0);
+  ts.record(sim::seconds(10), 20.0);
+  const TimeSeries rm = ts.rolling_mean(sim::seconds(10));
+  // The t=0 sample is exactly window-aged at t=10 and falls out.
+  EXPECT_DOUBLE_EQ(rm.samples()[1].value, 20.0);
+}
+
+TEST(TimeSeries, BinnedMeanSkipsEmptyBins) {
+  TimeSeries ts;
+  ts.record(sim::seconds(0), 1.0);
+  ts.record(sim::seconds(5), 9.0);  // bins 1-4 empty
+  const TimeSeries b = ts.binned_mean(sim::seconds(1));
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.samples()[1].at, sim::seconds(5));
+}
+
+TEST(LatencyRecorder, EmptyRecorderIsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.mean_ms(), 0.0);
+  EXPECT_EQ(rec.median_ms(), 0.0);
+  EXPECT_EQ(rec.p99_ms(), 0.0);
+  EXPECT_EQ(rec.max_ms(), 0.0);
+}
+
+TEST(Cdf, SingleSample) {
+  Cdf cdf({5.0});
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_of(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_of(4.9), 0.0);
+}
+
+TEST(Cdf, ValueAtMatchesProbabilityOfRoundTrip) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  Cdf cdf(samples);
+  for (double p : {0.1, 0.25, 0.5, 0.9}) {
+    const double v = cdf.value_at(p);
+    EXPECT_NEAR(cdf.probability_of(v), p, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace bass::metrics

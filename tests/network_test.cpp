@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace bass::net {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  std::unique_ptr<Network> net;
+
+  // Line: 0 -(10 Mbps)- 1 -(10 Mbps)- 2
+  explicit Fixture(Bps cap = mbps(10)) {
+    Topology t;
+    const NodeId a = t.add_node(), b = t.add_node(), c = t.add_node();
+    t.add_link(a, b, cap);
+    t.add_link(b, c, cap);
+    net = std::make_unique<Network>(sim, std::move(t));
+  }
+};
+
+TEST(Network, SingleTransferDrainTime) {
+  Fixture f;
+  sim::Time done_at = -1;
+  // 10 Mbit over a 10 Mbps 1-hop path: 1 s drain + 1 ms hop latency.
+  f.net->start_transfer(0, 1, 10'000'000 / 8, [&] { done_at = f.sim.now(); });
+  f.sim.run_all();
+  EXPECT_NEAR(sim::to_seconds(done_at), 1.001, 0.001);
+}
+
+TEST(Network, MultiHopAddsLatencyOnly) {
+  Fixture f;
+  sim::Time done_at = -1;
+  f.net->start_transfer(0, 2, 10'000'000 / 8, [&] { done_at = f.sim.now(); });
+  f.sim.run_all();
+  // Flow-level model: one drain at the bottleneck rate plus 2 hops latency.
+  EXPECT_NEAR(sim::to_seconds(done_at), 1.002, 0.001);
+}
+
+TEST(Network, TwoChannelsShareALink) {
+  Fixture f;
+  sim::Time done0 = -1, done1 = -1;
+  // Both cross link 0->1. Each should get ~5 Mbps: 10 Mbit takes ~2 s.
+  f.net->start_transfer(0, 1, 10'000'000 / 8, [&] { done0 = f.sim.now(); });
+  f.net->start_transfer(0, 2, 10'000'000 / 8, [&] { done1 = f.sim.now(); });
+  f.sim.run_all();
+  EXPECT_NEAR(sim::to_seconds(done0), 2.0, 0.02);
+  // After the first finishes, the second speeds up to 10 Mbps — but both
+  // had the same size so they finish nearly together.
+  EXPECT_NEAR(sim::to_seconds(done1), 2.0, 0.02);
+}
+
+TEST(Network, FifoWithinChannel) {
+  Fixture f;
+  std::vector<int> completed;
+  f.net->start_transfer(0, 1, 1'000'000, [&] { completed.push_back(1); });
+  f.net->start_transfer(0, 1, 1'000, [&] { completed.push_back(2); });
+  f.sim.run_all();
+  // Same channel is FIFO: the big head transfer completes first.
+  EXPECT_EQ(completed, (std::vector<int>{1, 2}));
+}
+
+TEST(Network, CapacityChangeSlowsTransfer) {
+  Fixture f;
+  sim::Time done_at = -1;
+  f.net->start_transfer(0, 1, 10'000'000 / 8, [&] { done_at = f.sim.now(); });
+  // At t=0.5 s, halve the link: remaining 5 Mbit at 5 Mbps -> 1 more second.
+  f.sim.schedule_at(sim::seconds_f(0.5), [&] {
+    f.net->set_link_capacity_between(0, 1, mbps(5));
+  });
+  f.sim.run_all();
+  EXPECT_NEAR(sim::to_seconds(done_at), 1.501, 0.01);
+}
+
+TEST(Network, ZeroCapacityStallsThenResumes) {
+  Fixture f;
+  sim::Time done_at = -1;
+  f.net->start_transfer(0, 1, 10'000'000 / 8, [&] { done_at = f.sim.now(); });
+  f.sim.schedule_at(sim::seconds_f(0.5), [&] {
+    f.net->set_link_capacity_between(0, 1, 0);
+  });
+  f.sim.schedule_at(sim::seconds_f(10.5), [&] {
+    f.net->set_link_capacity_between(0, 1, mbps(10));
+  });
+  f.sim.run_all();
+  // 0.5 s at 10 Mbps, 10 s stalled, then 0.5 s to finish.
+  EXPECT_NEAR(sim::to_seconds(done_at), 11.0, 0.02);
+}
+
+TEST(Network, LoopbackTransferIsFast) {
+  Fixture f;
+  sim::Time done_at = -1;
+  f.net->start_transfer(1, 1, 1'000'000, [&] { done_at = f.sim.now(); });
+  f.sim.run_all();
+  EXPECT_LT(done_at, sim::millis(2));
+  EXPECT_GE(done_at, 0);
+}
+
+TEST(Network, CancelQueuedTransfer) {
+  Fixture f;
+  bool head_done = false, second_done = false;
+  f.net->start_transfer(0, 1, 1'000'000, [&] { head_done = true; });
+  const TransferId second =
+      f.net->start_transfer(0, 1, 1'000'000, [&] { second_done = true; });
+  EXPECT_TRUE(f.net->cancel_transfer(second));
+  EXPECT_FALSE(f.net->cancel_transfer(second));
+  f.sim.run_all();
+  EXPECT_TRUE(head_done);
+  EXPECT_FALSE(second_done);
+}
+
+TEST(Network, CancelHeadPromotesNext) {
+  Fixture f;
+  bool second_done = false;
+  const TransferId head = f.net->start_transfer(0, 1, 100'000'000, [] {});
+  f.net->start_transfer(0, 1, 1'000'000 / 8, [&] { second_done = true; });
+  f.sim.schedule_at(sim::seconds(1), [&] { f.net->cancel_transfer(head); });
+  f.sim.run_all();
+  EXPECT_TRUE(second_done);
+  // 1 Mbit at 10 Mbps from t=1: finishes ~t=1.1, far before the 80 s the
+  // cancelled head would have taken.
+  EXPECT_LT(f.sim.now(), sim::seconds(3));
+}
+
+TEST(Network, StreamGetsDemandWhenUncontended) {
+  Fixture f;
+  const StreamId s = f.net->open_stream(0, 1, mbps(3));
+  f.sim.run_until(sim::seconds(1));
+  EXPECT_NEAR(static_cast<double>(f.net->stream_rate(s)), 3e6, 1e3);
+  f.net->close_stream(s);
+  EXPECT_EQ(f.net->stream_rate(s), 0);
+}
+
+TEST(Network, StreamSharesWithTransfers) {
+  Fixture f;
+  const StreamId s = f.net->open_stream(0, 1, mbps(8));
+  sim::Time done_at = -1;
+  f.net->start_transfer(0, 1, 10'000'000 / 8, [&] { done_at = f.sim.now(); });
+  // Max-min: stream capped at 5 (fair share), transfer gets 5 Mbps.
+  EXPECT_NEAR(static_cast<double>(f.net->stream_rate(s)), 5e6, 1e4);
+  f.sim.run_all();
+  EXPECT_NEAR(sim::to_seconds(done_at), 2.0, 0.05);
+  // After the transfer completes the stream returns to full demand.
+  EXPECT_NEAR(static_cast<double>(f.net->stream_rate(s)), 8e6, 1e4);
+}
+
+TEST(Network, StreamDemandChange) {
+  Fixture f;
+  const StreamId s = f.net->open_stream(0, 1, mbps(2));
+  f.net->set_stream_demand(s, mbps(7));
+  EXPECT_NEAR(static_cast<double>(f.net->stream_rate(s)), 7e6, 1e3);
+}
+
+TEST(Network, TagByteAccounting) {
+  Fixture f;
+  f.net->start_transfer(0, 1, 500'000, [] {}, /*tag=*/42);
+  f.sim.run_all();
+  EXPECT_NEAR(static_cast<double>(f.net->take_tag_bytes(42)), 500'000, 10);
+  EXPECT_EQ(f.net->take_tag_bytes(42), 0);  // window resets
+  EXPECT_NEAR(static_cast<double>(f.net->total_tag_bytes(42)), 500'000, 10);
+}
+
+TEST(Network, StreamTagAccountingMatchesRateTimesTime) {
+  Fixture f;
+  f.net->open_stream(0, 1, mbps(4), /*tag=*/7);
+  f.sim.run_until(sim::seconds(10));
+  // 4 Mbps for 10 s = 5 MB.
+  EXPECT_NEAR(static_cast<double>(f.net->take_tag_bytes(7)), 5e6, 5e4);
+}
+
+TEST(Network, PathCapacityAndAvailable) {
+  Fixture f;
+  EXPECT_EQ(f.net->path_capacity(0, 2), mbps(10));
+  f.net->set_link_capacity_between(1, 2, mbps(4));
+  EXPECT_EQ(f.net->path_capacity(0, 2), mbps(4));
+  // An unbounded stream on 0->1 leaves the 0->2 path bottlenecked at 1->2.
+  f.net->open_stream(0, 1, mbps(8));
+  const Bps avail = f.net->path_available(0, 2);
+  // Phantom flow would get max-min share: link0 10 shared (phantom vs 8 Mbps
+  // stream -> 5 each, stream capped at 8 but fair share 5) => phantom gets
+  // min(5 on link0... then 4 on link 1->2) = 4.
+  EXPECT_NEAR(static_cast<double>(avail), 4e6, 1e5);
+}
+
+TEST(Network, BatchUpdateCoalescesReallocations) {
+  Fixture f;
+  f.net->open_stream(0, 1, mbps(5));
+  const auto before = f.net->reallocation_count();
+  {
+    Network::BatchUpdate batch(*f.net);
+    f.net->set_link_capacity_between(0, 1, mbps(7));
+    f.net->set_link_capacity_between(1, 2, mbps(7));
+  }
+  EXPECT_EQ(f.net->reallocation_count(), before + 1);
+}
+
+TEST(Network, ConservationAcrossManyTransfers) {
+  Fixture f;
+  // 20 staggered transfers in alternating directions; total delivered bytes
+  // must equal total sent.
+  std::int64_t sent = 0;
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::int64_t bytes = 50'000 + 10'000 * i;
+    const NodeId src = (i % 2 == 0) ? 0 : 2;
+    const NodeId dst = (i % 2 == 0) ? 2 : 0;
+    sent += bytes;
+    f.sim.schedule_at(sim::millis(100 * i), [&f, bytes, src, dst, &completed] {
+      f.net->start_transfer(src, dst, bytes, [&completed] { ++completed; });
+    });
+  }
+  f.sim.run_all();
+  EXPECT_EQ(completed, 20);
+  EXPECT_NEAR(static_cast<double>(f.net->total_bytes_delivered()),
+              static_cast<double>(sent), 100.0);
+}
+
+}  // namespace
+}  // namespace bass::net

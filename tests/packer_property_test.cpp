@@ -1,0 +1,174 @@
+// Property suite for the BASS packer and schedulers: on random apps and
+// clusters, any returned placement must respect CPU, memory, and per-link
+// bandwidth reservations, cover every component, and honor pins.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "sched/bass_scheduler.h"
+#include "sched/k3s_scheduler.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace bass::sched {
+namespace {
+
+struct World {
+  sim::Simulation sim;
+  std::unique_ptr<net::Network> network;
+  cluster::ClusterState cluster;
+  std::unique_ptr<LiveNetworkView> view;
+  app::AppGraph app{"random"};
+};
+
+std::unique_ptr<World> random_world(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto w = std::make_unique<World>();
+
+  const int nodes = static_cast<int>(rng.uniform_int(2, 6));
+  net::Topology topo;
+  for (int i = 0; i < nodes; ++i) topo.add_node();
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = i + 1; j < nodes; ++j) {
+      if (j == i + 1 || rng.chance(0.4)) {
+        topo.add_link(i, j, net::mbps(rng.uniform_int(5, 100)));
+      }
+    }
+  }
+  w->network = std::make_unique<net::Network>(w->sim, std::move(topo));
+  w->view = std::make_unique<LiveNetworkView>(*w->network);
+  for (int i = 0; i < nodes; ++i) {
+    w->cluster.add_node(i, {rng.uniform_int(4, 16) * 1000,
+                            rng.uniform_int(2, 16) * 1024, true});
+  }
+
+  const int comps = static_cast<int>(rng.uniform_int(1, 12));
+  for (int c = 0; c < comps; ++c) {
+    app::Component comp{.name = "c" + std::to_string(c),
+                        .cpu_milli = rng.uniform_int(100, 2000),
+                        .memory_mb = rng.uniform_int(64, 1024)};
+    if (rng.chance(0.1)) comp.pinned_node = static_cast<net::NodeId>(
+        rng.uniform_int(0, nodes - 1));
+    w->app.add_component(comp);
+  }
+  for (int i = 0; i < comps; ++i) {
+    for (int j = i + 1; j < comps; ++j) {
+      if (rng.chance(0.25)) {
+        w->app.add_dependency({.from = i, .to = j,
+                               .bandwidth = net::kbps(rng.uniform_int(100, 8000))});
+      }
+    }
+  }
+  return w;
+}
+
+void check_placement(const World& w, const Placement& p) {
+  // Complete coverage.
+  ASSERT_EQ(p.size(), static_cast<std::size_t>(w.app.component_count()));
+
+  // CPU / memory fit per node.
+  std::map<net::NodeId, std::int64_t> cpu, mem;
+  for (const auto& [c, n] : p) {
+    ASSERT_TRUE(w.cluster.has_node(n));
+    cpu[n] += w.app.component(c).cpu_milli;
+    mem[n] += w.app.component(c).memory_mb;
+  }
+  for (const auto& [n, used] : cpu) {
+    EXPECT_LE(used, w.cluster.spec(n).cpu_milli) << "cpu oversubscribed on " << n;
+  }
+  for (const auto& [n, used] : mem) {
+    EXPECT_LE(used, w.cluster.spec(n).memory_mb) << "mem oversubscribed on " << n;
+  }
+
+  // Pins honored.
+  for (app::ComponentId c = 0; c < w.app.component_count(); ++c) {
+    if (w.app.component(c).pinned_node) {
+      EXPECT_EQ(p.at(c), *w.app.component(c).pinned_node);
+    }
+  }
+
+  // Bandwidth reservations: per directed link, the sum of crossing-edge
+  // requirements routed over it fits capacity.
+  std::vector<net::Bps> reserved(static_cast<std::size_t>(w.view->link_count()), 0);
+  for (const auto& e : w.app.edges()) {
+    const net::NodeId a = p.at(e.from);
+    const net::NodeId b = p.at(e.to);
+    if (a == b) continue;
+    for (net::LinkId l : w.view->path(a, b)) {
+      reserved[static_cast<std::size_t>(l)] += e.bandwidth;
+    }
+  }
+  for (int l = 0; l < w.view->link_count(); ++l) {
+    EXPECT_LE(reserved[static_cast<std::size_t>(l)], w.view->link_capacity(l))
+        << "bandwidth oversubscribed on link " << l;
+  }
+}
+
+class PackerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackerProperty, BfsPlacementsAreValid) {
+  const auto w = random_world(GetParam());
+  const auto r =
+      BassScheduler(Heuristic::kBreadthFirst).schedule(w->app, w->cluster, *w->view);
+  if (r.ok()) check_placement(*w, r.value());
+  // Failure is acceptable (instance may be infeasible) — validity of
+  // produced placements is the property under test.
+}
+
+TEST_P(PackerProperty, LongestPathPlacementsAreValid) {
+  const auto w = random_world(GetParam());
+  const auto r =
+      BassScheduler(Heuristic::kLongestPath).schedule(w->app, w->cluster, *w->view);
+  if (r.ok()) check_placement(*w, r.value());
+}
+
+TEST_P(PackerProperty, AutoPlacementsAreValidAndNoWorse) {
+  const auto w = random_world(GetParam());
+  const auto combined =
+      BassScheduler(Heuristic::kAuto).schedule(w->app, w->cluster, *w->view);
+  if (!combined.ok()) return;
+  check_placement(*w, combined.value());
+  const auto bfs =
+      BassScheduler(Heuristic::kBreadthFirst).schedule(w->app, w->cluster, *w->view);
+  const auto lp =
+      BassScheduler(Heuristic::kLongestPath).schedule(w->app, w->cluster, *w->view);
+  net::Bps best = net::kUnlimitedRate;
+  if (bfs.ok()) best = std::min(best, crossing_bandwidth(w->app, bfs.value()));
+  if (lp.ok()) best = std::min(best, crossing_bandwidth(w->app, lp.value()));
+  EXPECT_LE(crossing_bandwidth(w->app, combined.value()), best);
+}
+
+TEST_P(PackerProperty, K3sRespectsComputeButMayBreakBandwidth) {
+  const auto w = random_world(GetParam());
+  const auto r = K3sScheduler().schedule(w->app, w->cluster, *w->view);
+  if (!r.ok()) return;
+  // k3s honours cpu/mem and pins but is *allowed* to oversubscribe links —
+  // that gap is the paper's thesis. Check only the compute half.
+  std::map<net::NodeId, std::int64_t> cpu;
+  for (const auto& [c, n] : r.value()) cpu[n] += w->app.component(c).cpu_milli;
+  for (const auto& [n, used] : cpu) EXPECT_LE(used, w->cluster.spec(n).cpu_milli);
+  for (app::ComponentId c = 0; c < w->app.component_count(); ++c) {
+    if (w->app.component(c).pinned_node) {
+      EXPECT_EQ(r.value().at(c), *w->app.component(c).pinned_node);
+    }
+  }
+}
+
+TEST_P(PackerProperty, SchedulingIsDeterministic) {
+  const auto w1 = random_world(GetParam());
+  const auto w2 = random_world(GetParam());
+  const auto r1 =
+      BassScheduler(Heuristic::kAuto).schedule(w1->app, w1->cluster, *w1->view);
+  const auto r2 =
+      BassScheduler(Heuristic::kAuto).schedule(w2->app, w2->cluster, *w2->view);
+  ASSERT_EQ(r1.ok(), r2.ok());
+  if (r1.ok()) {
+    EXPECT_EQ(r1.value(), r2.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackerProperty, ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace bass::sched

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/routing.h"
+
+namespace bass::net {
+namespace {
+
+// Line topology a - b - c - d.
+Topology line4() {
+  Topology t;
+  const NodeId a = t.add_node(), b = t.add_node(), c = t.add_node(), d = t.add_node();
+  t.add_link(a, b, mbps(10));
+  t.add_link(b, c, mbps(10));
+  t.add_link(c, d, mbps(10));
+  return t;
+}
+
+TEST(Routing, DirectNeighbor) {
+  Topology t = line4();
+  RoutingTable rt(t);
+  EXPECT_EQ(rt.hops(0, 1), 1);
+  ASSERT_EQ(rt.path(0, 1).size(), 1u);
+  EXPECT_EQ(t.link(rt.path(0, 1)[0]).dst, 1);
+}
+
+TEST(Routing, MultiHopPathIsConnected) {
+  Topology t = line4();
+  RoutingTable rt(t);
+  const auto& p = rt.path(0, 3);
+  ASSERT_EQ(p.size(), 3u);
+  NodeId at = 0;
+  for (LinkId l : p) {
+    EXPECT_EQ(t.link(l).src, at);
+    at = t.link(l).dst;
+  }
+  EXPECT_EQ(at, 3);
+}
+
+TEST(Routing, SelfPathIsEmpty) {
+  Topology t = line4();
+  RoutingTable rt(t);
+  EXPECT_TRUE(rt.path(2, 2).empty());
+  EXPECT_EQ(rt.hops(2, 2), 0);
+  EXPECT_TRUE(rt.reachable(2, 2));
+}
+
+TEST(Routing, PrefersShortestHopCount) {
+  // Square with a diagonal: a-b, b-c, a-c. a->c should use the diagonal.
+  Topology t;
+  const NodeId a = t.add_node(), b = t.add_node(), c = t.add_node();
+  t.add_link(a, b, mbps(10));
+  t.add_link(b, c, mbps(10));
+  t.add_link(a, c, mbps(1));
+  RoutingTable rt(t);
+  EXPECT_EQ(rt.hops(a, c), 1);
+}
+
+TEST(Routing, UnreachablePartition) {
+  Topology t;
+  const NodeId a = t.add_node(), b = t.add_node(), c = t.add_node(), d = t.add_node();
+  t.add_link(a, b, mbps(10));
+  t.add_link(c, d, mbps(10));
+  RoutingTable rt(t);
+  EXPECT_FALSE(rt.reachable(a, c));
+  EXPECT_TRUE(rt.path(a, c).empty());
+  EXPECT_TRUE(rt.reachable(a, b));
+}
+
+TEST(Routing, DeterministicTieBreak) {
+  // Two equal-length routes a->d: via b or via c. BFS explores out-links in
+  // insertion order, so the route must go via b (added first) every time.
+  Topology t;
+  const NodeId a = t.add_node(), b = t.add_node(), c = t.add_node(), d = t.add_node();
+  t.add_link(a, b, mbps(10));
+  t.add_link(a, c, mbps(10));
+  t.add_link(b, d, mbps(10));
+  t.add_link(c, d, mbps(10));
+  RoutingTable rt(t);
+  ASSERT_EQ(rt.path(a, d).size(), 2u);
+  EXPECT_EQ(t.link(rt.path(a, d)[0]).dst, b);
+  RoutingTable rt2(t);
+  EXPECT_EQ(rt.path(a, d), rt2.path(a, d));
+}
+
+TEST(Routing, SymmetricReachability) {
+  Topology t = line4();
+  RoutingTable rt(t);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      EXPECT_EQ(rt.hops(u, v), rt.hops(v, u));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bass::net
+
+namespace bass::net {
+namespace {
+
+// Diamond: a-b-d is wide (20,20), a-c-d is narrow (5,5), plus a direct
+// skinny a-d link (2).
+Topology diamond() {
+  Topology t;
+  const NodeId a = t.add_node(), b = t.add_node(), c = t.add_node(), d = t.add_node();
+  t.add_link(a, b, mbps(20));
+  t.add_link(b, d, mbps(20));
+  t.add_link(a, c, mbps(5));
+  t.add_link(c, d, mbps(5));
+  t.add_link(a, d, mbps(2));
+  return t;
+}
+
+TEST(WidestPath, PrefersFatTwoHopOverSkinnyDirect) {
+  Topology t = diamond();
+  RoutingTable min_hop(t, RoutingPolicy::kMinHop);
+  RoutingTable widest(t, RoutingPolicy::kWidestPath);
+  // Min-hop takes the direct 2 Mbps link; widest goes via b at 20 Mbps.
+  EXPECT_EQ(min_hop.hops(0, 3), 1);
+  ASSERT_EQ(widest.hops(0, 3), 2);
+  Bps bottleneck = kUnlimitedRate;
+  for (LinkId l : widest.path(0, 3)) bottleneck = std::min(bottleneck, t.link(l).capacity);
+  EXPECT_EQ(bottleneck, mbps(20));
+}
+
+TEST(WidestPath, TieBreaksByHops) {
+  // Equal-width routes: direct (10) vs 2-hop (10,10): prefer direct.
+  Topology t;
+  const NodeId a = t.add_node(), b = t.add_node(), c = t.add_node();
+  t.add_link(a, c, mbps(10));
+  t.add_link(a, b, mbps(10));
+  t.add_link(b, c, mbps(10));
+  RoutingTable widest(t, RoutingPolicy::kWidestPath);
+  EXPECT_EQ(widest.hops(a, c), 1);
+}
+
+TEST(WidestPath, PathsAreConnectedAndReachable) {
+  Topology t = diamond();
+  RoutingTable widest(t, RoutingPolicy::kWidestPath);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      EXPECT_TRUE(widest.reachable(u, v));
+      if (u == v) continue;
+      NodeId at = u;
+      for (LinkId l : widest.path(u, v)) {
+        EXPECT_EQ(t.link(l).src, at);
+        at = t.link(l).dst;
+      }
+      EXPECT_EQ(at, v);
+    }
+  }
+}
+
+TEST(WidestPath, RecomputeFollowsCapacityChanges) {
+  Topology t = diamond();
+  RoutingTable widest(t, RoutingPolicy::kWidestPath);
+  ASSERT_EQ(widest.hops(0, 3), 2);
+  // Fatten the direct link beyond the b route: routes switch on recompute.
+  t.set_capacity(*t.link_between(0, 3), mbps(50));
+  widest.recompute();
+  EXPECT_EQ(widest.hops(0, 3), 1);
+}
+
+TEST(WidestPath, NetworkUsesConfiguredPolicy) {
+  bass::sim::Simulation sim;
+  NetworkConfig cfg;
+  cfg.routing = RoutingPolicy::kWidestPath;
+  Network network(sim, diamond(), cfg);
+  EXPECT_EQ(network.routing().policy(), RoutingPolicy::kWidestPath);
+  // Transfers follow the wide route: a 20 Mbit transfer at 20 Mbps takes
+  // ~1 s (the skinny direct link would take 10 s).
+  bass::sim::Time done_at = -1;
+  network.start_transfer(0, 3, 20'000'000 / 8, [&] { done_at = sim.now(); });
+  sim.run_all();
+  EXPECT_NEAR(bass::sim::to_seconds(done_at), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace bass::net

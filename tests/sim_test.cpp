@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace bass::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.schedule_at(seconds(3), [&] { fired.push_back(3); });
+  sim.schedule_at(seconds(1), [&] { fired.push_back(1); });
+  sim.schedule_at(seconds(2), [&] { fired.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), seconds(3));
+}
+
+TEST(EventQueue, SameTimestampIsFifo) {
+  Simulation sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(seconds(1), [&fired, i] { fired.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel reports failure
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));
+  EXPECT_FALSE(sim.cancel(9999));
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  Time fired_at = -1;
+  sim.schedule_at(seconds(5), [&] {
+    sim.schedule_after(seconds(2), [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired_at, seconds(7));
+}
+
+TEST(Simulation, NegativeDelayClampsToNow) {
+  Simulation sim;
+  Time fired_at = -1;
+  sim.schedule_at(seconds(1), [&] {
+    sim.schedule_after(-seconds(10), [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired_at, seconds(1));
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(seconds(1), [&] { ++count; });
+  sim.schedule_at(seconds(5), [&] { ++count; });
+  sim.run_until(seconds(3));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), seconds(3));
+  sim.run_until(seconds(10));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, EventAtDeadlineRuns) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(seconds(3), [&] { fired = true; });
+  sim.run_until(seconds(3));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, PeriodicRepeats) {
+  Simulation sim;
+  int ticks = 0;
+  const EventId handle = sim.schedule_periodic(seconds(10), [&] { ++ticks; });
+  sim.run_until(seconds(35));
+  EXPECT_EQ(ticks, 3);  // t=10,20,30
+  EXPECT_TRUE(sim.cancel_periodic(handle));
+  sim.run_until(seconds(100));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulation, PeriodicCancelFromInsideCallback) {
+  Simulation sim;
+  int ticks = 0;
+  EventId handle = 0;
+  handle = sim.schedule_periodic(seconds(1), [&] {
+    if (++ticks == 2) sim.cancel_periodic(handle);
+  });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(Simulation, CancelPeriodicTwiceFails) {
+  Simulation sim;
+  const EventId handle = sim.schedule_periodic(seconds(1), [] {});
+  EXPECT_TRUE(sim.cancel_periodic(handle));
+  EXPECT_FALSE(sim.cancel_periodic(handle));
+}
+
+TEST(Simulation, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(seconds(1), recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), seconds(4));
+}
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(seconds(2), 2'000'000);
+  EXPECT_EQ(millis(3), 3'000);
+  EXPECT_EQ(minutes(1), 60'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_millis(millis(7)), 7.0);
+  EXPECT_EQ(seconds_f(0.5), 500'000);
+}
+
+}  // namespace
+}  // namespace bass::sim
+
+namespace bass::sim {
+namespace {
+
+// Property: the queue drains N randomized events in nondecreasing time
+// order regardless of insertion order, with cancellations interleaved.
+class EventQueueProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueProperty, FiresInOrderUnderChurn) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  Simulation sim;
+  std::vector<Time> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 500; ++i) {
+    const Time at = static_cast<Time>(rng() % 1'000'000);
+    ids.push_back(sim.schedule_at(at, [&fired, &sim] { fired.push_back(sim.now()); }));
+  }
+  // Cancel a random third.
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    if (sim.cancel(ids[i])) ++cancelled;
+  }
+  sim.run_all();
+  EXPECT_EQ(static_cast<int>(fired.size()), 500 - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty, ::testing::Range(1, 9));
+
+TEST(Simulation, PendingEventsCountsLiveOnly) {
+  Simulation sim;
+  const EventId a = sim.schedule_at(seconds(1), [] {});
+  sim.schedule_at(seconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_all();
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulation, PeriodicFirstFiringIsOnePeriodOut) {
+  Simulation sim;
+  Time first = -1;
+  sim.schedule_periodic(seconds(7), [&] {
+    if (first < 0) first = sim.now();
+  });
+  sim.run_until(minutes(1));
+  EXPECT_EQ(first, seconds(7));
+}
+
+}  // namespace
+}  // namespace bass::sim

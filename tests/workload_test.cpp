@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/catalog.h"
+#include "core/orchestrator.h"
+#include "workload/request_engine.h"
+#include "workload/video_conference.h"
+
+namespace bass::workload {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  std::unique_ptr<net::Network> network;
+  cluster::ClusterState cluster;
+  std::unique_ptr<core::Orchestrator> orch;
+
+  explicit Fixture(net::Bps link = net::mbps(100), int nodes = 3,
+                   std::int64_t cpu = 16000) {
+    net::Topology topo;
+    for (int i = 0; i < nodes; ++i) topo.add_node();
+    for (int i = 0; i + 1 < nodes; ++i) topo.add_link(i, i + 1, link);
+    network = std::make_unique<net::Network>(sim, std::move(topo));
+    for (int i = 0; i < nodes; ++i) cluster.add_node(i, {cpu, 32768, true});
+    orch = std::make_unique<core::Orchestrator>(sim, *network, cluster);
+  }
+};
+
+app::AppGraph two_stage_app() {
+  app::AppGraph g("two-stage");
+  g.add_component({.name = "front", .cpu_milli = 100, .memory_mb = 64,
+                   .service_time = sim::millis(2), .concurrency = 8});
+  g.add_component({.name = "back", .cpu_milli = 100, .memory_mb = 64,
+                   .service_time = sim::millis(3), .concurrency = 8});
+  g.add_dependency({.from = 0, .to = 1, .bandwidth = net::mbps(5),
+                    .request_bytes = 2000, .response_bytes = 8000});
+  return g;
+}
+
+TEST(RequestEngine, CompletesRequestsWithSaneLatency) {
+  Fixture f;
+  const auto id = f.orch->deploy(two_stage_app(), core::SchedulerKind::kBassBfs).take();
+  RequestWorkloadConfig cfg;
+  cfg.rps = 20;
+  cfg.client_node = 0;
+  RequestEngine engine(*f.orch, id, cfg);
+  engine.start();
+  f.sim.run_until(sim::seconds(30));
+  engine.stop();
+  f.sim.run_until(sim::seconds(35));
+
+  EXPECT_NEAR(static_cast<double>(engine.issued()), 600, 5);
+  EXPECT_EQ(engine.in_flight(), 0);
+  // Colocated deployment: latency = client hops + 2+3 ms service + small
+  // transfers. Must sit in the few-ms to tens-of-ms band.
+  EXPECT_GT(engine.latencies().mean_ms(), 4.0);
+  EXPECT_LT(engine.latencies().mean_ms(), 50.0);
+}
+
+TEST(RequestEngine, ExponentialArrivalsMatchMeanRate) {
+  Fixture f;
+  const auto id = f.orch->deploy(two_stage_app(), core::SchedulerKind::kBassBfs).take();
+  RequestWorkloadConfig cfg;
+  cfg.rps = 50;
+  cfg.arrival = RequestWorkloadConfig::Arrival::kExponential;
+  cfg.client_node = 0;
+  cfg.seed = 7;
+  RequestEngine engine(*f.orch, id, cfg);
+  engine.start();
+  f.sim.run_until(sim::minutes(2));
+  engine.stop();
+  // 50 rps * 120 s = 6000 +- sampling noise.
+  EXPECT_NEAR(static_cast<double>(engine.issued()), 6000, 300);
+}
+
+TEST(RequestEngine, ThinLinkInflatesLatency) {
+  // Same app, pair forced across a starved link via manual placements is
+  // not directly expressible; instead compare fat vs thin link with k3s
+  // spreading the two components.
+  auto run = [](net::Bps link) {
+    Fixture f(link, 2);
+    // k3s spreads: front on one node, back on the other.
+    const auto id =
+        f.orch->deploy(two_stage_app(), core::SchedulerKind::kK3sDefault).take();
+    EXPECT_NE(f.orch->node_of(id, 0), f.orch->node_of(id, 1));
+    RequestWorkloadConfig cfg;
+    cfg.rps = 30;
+    cfg.client_node = 0;
+    auto engine = std::make_unique<RequestEngine>(*f.orch, id, cfg);
+    engine->start();
+    f.sim.run_until(sim::seconds(60));
+    engine->stop();
+    f.sim.run_until(sim::seconds(90));
+    return engine->latencies().mean_ms();
+  };
+  const double fat = run(net::mbps(100));
+  const double thin = run(net::mbps(1));  // 30 rps * 10 KB * 8 = 2.4 Mbps >> 1 Mbps
+  EXPECT_GT(thin, fat * 5.0);  // saturated link => queueing blow-up
+}
+
+TEST(RequestEngine, RecordsTrafficStats) {
+  Fixture f;
+  const auto id = f.orch->deploy(two_stage_app(), core::SchedulerKind::kBassBfs).take();
+  RequestWorkloadConfig cfg;
+  cfg.rps = 20;
+  cfg.client_node = 0;
+  RequestEngine engine(*f.orch, id, cfg);
+  engine.start();
+  f.sim.run_until(sim::seconds(30));
+  engine.stop();
+  f.sim.run_until(sim::seconds(35));
+  // ~600 requests x (2000+8000) bytes on the front->back edge.
+  const auto total = f.orch->traffic_stats(id).total_bytes(0, 1);
+  EXPECT_NEAR(static_cast<double>(total), 600.0 * 10000.0, 600.0 * 10000.0 * 0.05);
+}
+
+TEST(RequestEngine, ComponentDownParksAndDrains) {
+  Fixture f;
+  const auto id = f.orch->deploy(two_stage_app(), core::SchedulerKind::kBassBfs).take();
+  RequestWorkloadConfig cfg;
+  cfg.rps = 10;
+  cfg.client_node = 0;
+  RequestEngine engine(*f.orch, id, cfg);
+  engine.start();
+  // Restart the backend at t=10 (20 s outage).
+  f.sim.schedule_at(sim::seconds(10), [&] { f.orch->restart_component(id, 1); });
+  f.sim.run_until(sim::seconds(60));
+  engine.stop();
+  f.sim.run_until(sim::seconds(90));
+  EXPECT_EQ(engine.in_flight(), 0);  // parked calls drained after restart
+  // Requests issued during the outage waited ~ up to 20 s.
+  EXPECT_GT(engine.latencies().max_ms(), 5'000.0);
+  EXPECT_LT(engine.latencies().median_ms(), 100.0);  // most unaffected
+}
+
+TEST(RequestEngine, ProbabilisticEdgesInvokedProportionally) {
+  Fixture f;
+  app::AppGraph g("prob");
+  g.add_component({.name = "root", .cpu_milli = 100, .memory_mb = 64,
+                   .service_time = sim::millis(1), .concurrency = 8});
+  g.add_component({.name = "rare", .cpu_milli = 100, .memory_mb = 64,
+                   .service_time = sim::millis(1), .concurrency = 8});
+  g.add_dependency({.from = 0, .to = 1, .bandwidth = net::mbps(1),
+                    .request_bytes = 1000, .response_bytes = 1000,
+                    .probability = 0.25});
+  const auto id = f.orch->deploy(g, core::SchedulerKind::kBassBfs).take();
+  RequestWorkloadConfig cfg;
+  cfg.rps = 50;
+  cfg.client_node = 0;
+  cfg.seed = 3;
+  RequestEngine engine(*f.orch, id, cfg);
+  engine.start();
+  f.sim.run_until(sim::minutes(2));
+  engine.stop();
+  f.sim.run_until(sim::minutes(3));
+  const double invocations =
+      static_cast<double>(f.orch->traffic_stats(id).total_bytes(0, 1)) / 2000.0;
+  EXPECT_NEAR(invocations / static_cast<double>(engine.completed()), 0.25, 0.04);
+}
+
+// ---- Video conference ----
+
+app::AppGraph vc_app(const std::vector<std::pair<net::NodeId, int>>& groups,
+                     net::Bps rate) {
+  return app::video_conference_app(groups, rate);
+}
+
+TEST(VideoConference, FullMeshBitrateWhenUncontended) {
+  Fixture f(net::mbps(100));
+  const std::vector<std::pair<net::NodeId, int>> groups{{0, 2}, {2, 2}};
+  const auto id =
+      f.orch->deploy(vc_app(groups, net::kbps(800)), core::SchedulerKind::kBassBfs)
+          .take();
+  VideoConferenceConfig cfg;
+  cfg.groups = {{0, 2}, {2, 2}};
+  cfg.per_stream = net::kbps(800);
+  VideoConferenceEngine engine(*f.orch, id, cfg);
+  engine.start();
+  f.sim.run_until(sim::minutes(1));
+  engine.stop();
+  // 4 participants, each receives 3 streams of 800 Kbps.
+  EXPECT_EQ(engine.total_participants(), 4);
+  EXPECT_EQ(engine.expected_per_client(), net::kbps(2400));
+  EXPECT_NEAR(engine.mean_bitrate(0, sim::seconds(5)), 2400e3, 50e3);
+  EXPECT_NEAR(engine.mean_loss(0, sim::seconds(5)), 0.0, 0.02);
+}
+
+TEST(VideoConference, BottleneckCausesLoss) {
+  Fixture f(net::mbps(100));
+  const std::vector<std::pair<net::NodeId, int>> groups{{2, 8}};
+  const auto id =
+      f.orch->deploy(vc_app(groups, net::kbps(800)), core::SchedulerKind::kBassBfs)
+          .take();
+  VideoConferenceConfig cfg;
+  cfg.groups = {{2, 8}};
+  cfg.per_stream = net::kbps(800);
+  VideoConferenceEngine engine(*f.orch, id, cfg);
+  engine.start();
+  // 8 clients x 7 streams x 800 Kbps = 44.8 Mbps of forwarding demand.
+  // Squeeze the SFU-side link to 10 Mbps: heavy loss.
+  const net::NodeId sfu_node = f.orch->node_of(id, 0);
+  if (sfu_node != 2) {
+    f.network->set_link_capacity_between(sfu_node, 2, net::mbps(10));
+  }
+  f.sim.run_until(sim::minutes(1));
+  engine.stop();
+  if (sfu_node != 2) {
+    EXPECT_GT(engine.mean_loss(2, sim::seconds(5)), 0.5);
+    EXPECT_LT(engine.mean_bitrate(2, sim::seconds(5)), 2e6);
+  }
+}
+
+TEST(VideoConference, SinglePublisherMode) {
+  Fixture f(net::mbps(100));
+  const std::vector<std::pair<net::NodeId, int>> groups{{2, 9}};
+  const auto id =
+      f.orch->deploy(vc_app(groups, net::kbps(800)), core::SchedulerKind::kBassBfs)
+          .take();
+  VideoConferenceConfig cfg;
+  cfg.groups = {{2, 9}};
+  cfg.per_stream = net::kbps(800);
+  cfg.single_publisher = true;
+  VideoConferenceEngine engine(*f.orch, id, cfg);
+  engine.start();
+  f.sim.run_until(sim::seconds(30));
+  engine.stop();
+  EXPECT_EQ(engine.expected_per_client(), net::kbps(800));
+  // Each of the 8 receiving clients gets the full 800 Kbps stream.
+  EXPECT_NEAR(engine.mean_bitrate(2, sim::seconds(5)), 800e3, 40e3);
+}
+
+TEST(VideoConference, MigrationDisruptsThenRestores) {
+  Fixture f(net::mbps(100));
+  const std::vector<std::pair<net::NodeId, int>> groups{{0, 3}};
+  const auto id =
+      f.orch->deploy(vc_app(groups, net::kbps(800)), core::SchedulerKind::kBassBfs)
+          .take();
+  VideoConferenceConfig cfg;
+  cfg.groups = {{0, 3}};
+  cfg.per_stream = net::kbps(800);
+  cfg.reconnect_delay = sim::seconds(10);
+  VideoConferenceEngine engine(*f.orch, id, cfg);
+  engine.start();
+  const net::NodeId before = f.orch->node_of(id, 0);
+  f.sim.schedule_at(sim::seconds(60), [&] {
+    f.orch->migrate(id, 0, (before + 1) % 3);
+  });
+  f.sim.run_until(sim::minutes(3));
+  engine.stop();
+  // During the outage (60..90: 20 s restart + 10 s reconnect) bitrate ~0.
+  EXPECT_LT(engine.bitrate_series(0).mean_in(sim::seconds(65), sim::seconds(85)), 1.0);
+  // Restored afterwards.
+  EXPECT_NEAR(engine.bitrate_series(0).mean_in(sim::seconds(100), sim::minutes(3)),
+              1600e3, 100e3);
+}
+
+}  // namespace
+}  // namespace bass::workload
+
+namespace bass::workload {
+namespace {
+
+TEST(RequestEngine, ConnectionPoolShedsUnderOverload) {
+  Fixture f(net::mbps(1), 2);  // starved link
+  const auto id =
+      f.orch->deploy(two_stage_app(), core::SchedulerKind::kK3sDefault).take();
+  ASSERT_NE(f.orch->node_of(id, 0), f.orch->node_of(id, 1));
+  RequestWorkloadConfig cfg;
+  cfg.rps = 100;  // 100 * 10 KB * 8 = 8 Mbps offered over a 1 Mbps link
+  cfg.client_node = 0;
+  cfg.max_in_flight = 50;
+  RequestEngine engine(*f.orch, id, cfg);
+  engine.start();
+  f.sim.run_until(sim::minutes(2));
+  engine.stop();
+  // Shedding happened and in-flight stayed at the cap.
+  EXPECT_GT(engine.shed(), 0);
+  EXPECT_LE(engine.in_flight(), 50);
+  // Completed-request latency is bounded by the queue the cap allows,
+  // far below the unbounded-backlog regime.
+  EXPECT_LT(engine.latencies().max_ms(), 60'000.0);
+}
+
+TEST(RequestEngine, NoSheddingWhenHealthy) {
+  Fixture f;
+  const auto id =
+      f.orch->deploy(two_stage_app(), core::SchedulerKind::kBassBfs).take();
+  RequestWorkloadConfig cfg;
+  cfg.rps = 20;
+  cfg.client_node = 0;
+  cfg.max_in_flight = 50;
+  RequestEngine engine(*f.orch, id, cfg);
+  engine.start();
+  f.sim.run_until(sim::minutes(1));
+  engine.stop();
+  f.sim.run_until(sim::minutes(2));
+  EXPECT_EQ(engine.shed(), 0);
+}
+
+TEST(RequestEngine, ServerConcurrencyBoundsThroughput) {
+  Fixture f;
+  app::AppGraph g("slow");
+  g.add_component({.name = "only", .cpu_milli = 100, .memory_mb = 64,
+                   .service_time = sim::millis(100), .concurrency = 1});
+  const auto id = f.orch->deploy(g, core::SchedulerKind::kBassBfs).take();
+  RequestWorkloadConfig cfg;
+  cfg.rps = 50;  // 5x the single-slot service capacity of 10/s
+  cfg.client_node = f.orch->node_of(id, 0);
+  RequestEngine engine(*f.orch, id, cfg);
+  engine.start();
+  f.sim.run_until(sim::seconds(30));
+  engine.stop();
+  // Completions track the 10/s service rate, not the 50/s offered rate.
+  EXPECT_NEAR(static_cast<double>(engine.completed()), 300.0, 15.0);
+  // Queue wait dominates latency.
+  EXPECT_GT(engine.latencies().max_ms(), 1'000.0);
+}
+
+TEST(VideoConference, SurvivesBackToBackMigrations) {
+  Fixture f(net::mbps(100));
+  const std::vector<std::pair<net::NodeId, int>> groups{{0, 3}};
+  const auto id =
+      f.orch->deploy(vc_app(groups, net::kbps(800)), core::SchedulerKind::kBassBfs)
+          .take();
+  VideoConferenceConfig cfg;
+  cfg.groups = {{0, 3}};
+  cfg.per_stream = net::kbps(800);
+  cfg.reconnect_delay = sim::seconds(5);
+  VideoConferenceEngine engine(*f.orch, id, cfg);
+  engine.start();
+  // Two migrations in quick succession; the engine must end up connected
+  // at the final location, never double-connected.
+  const net::NodeId start = f.orch->node_of(id, 0);
+  f.sim.schedule_at(sim::seconds(30), [&] {
+    f.orch->migrate(id, 0, (start + 1) % 3);
+  });
+  f.sim.schedule_at(sim::seconds(60), [&] {
+    f.orch->migrate(id, 0, (start + 2) % 3);
+  });
+  f.sim.run_until(sim::minutes(4));
+  EXPECT_TRUE(f.orch->is_up(id, 0));
+  EXPECT_NEAR(engine.bitrate_series(0).mean_in(sim::minutes(3), sim::minutes(4)),
+              1600e3, 100e3);
+  engine.stop();
+}
+
+TEST(VideoConference, LossSeriesComplementsBitrate) {
+  Fixture f(net::mbps(100));
+  const std::vector<std::pair<net::NodeId, int>> groups{{2, 4}};
+  const auto id =
+      f.orch->deploy(vc_app(groups, net::mbps(1)), core::SchedulerKind::kBassBfs)
+          .take();
+  VideoConferenceConfig cfg;
+  cfg.groups = {{2, 4}};
+  cfg.per_stream = net::mbps(1);
+  VideoConferenceEngine engine(*f.orch, id, cfg);
+  engine.start();
+  const net::NodeId sfu_node = f.orch->node_of(id, 0);
+  if (sfu_node != 2) {
+    // Halve the expected 12 Mbps forwarding load.
+    f.network->set_link_capacity_between(sfu_node, 2, net::mbps(6));
+  }
+  f.sim.run_until(sim::minutes(1));
+  engine.stop();
+  if (sfu_node != 2) {
+    const double bitrate = engine.mean_bitrate(2, sim::seconds(5));
+    const double loss = engine.mean_loss(2, sim::seconds(5));
+    const double expected = static_cast<double>(engine.expected_per_client());
+    EXPECT_NEAR(bitrate / expected + loss, 1.0, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace bass::workload

@@ -1,0 +1,160 @@
+// bassctl — operator CLI for the BASS simulator.
+//
+//   bassctl validate <scenario.ini>        check a scenario without running
+//   bassctl run <scenario.ini>             run it and print the report
+//   bassctl dot <scenario.ini> [out.dot]   export the initial placement
+//   bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]
+//                 [--fades] [--seed N] [--out trace.csv]
+//                                          generate a bandwidth trace CSV
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/dot.h"
+#include "scenario/scenario.h"
+#include "trace/generator.h"
+
+using namespace bass;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  bassctl validate <scenario.ini>\n"
+               "  bassctl run <scenario.ini>\n"
+               "  bassctl dot <scenario.ini> [out.dot]\n"
+               "  bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]\n"
+               "                [--fades] [--seed N] [--out trace.csv]\n");
+  return 2;
+}
+
+int cmd_validate(const std::string& path) {
+  auto s = scenario::Scenario::from_file(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "INVALID: %s\n", s.error().c_str());
+    return 1;
+  }
+  auto& scene = *s.value();
+  std::printf("OK: %d components on %zu nodes, %.0f s run\n",
+              scene.app().component_count(),
+              static_cast<std::size_t>(scene.network().topology().node_count()),
+              sim::to_seconds(scene.duration()));
+  return 0;
+}
+
+int cmd_run(const std::string& path) {
+  auto s = scenario::Scenario::from_file(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "scenario error: %s\n", s.error().c_str());
+    return 1;
+  }
+  auto& scene = *s.value();
+  const auto report = scene.run();
+  if (report.median_bitrate_bps.empty()) {
+    std::printf("requests   %lld issued, %lld completed, %lld shed\n",
+                static_cast<long long>(report.requests_issued),
+                static_cast<long long>(report.requests_completed),
+                static_cast<long long>(report.requests_shed));
+    std::printf("latency    mean %.1f ms | median %.1f ms | p99 %.1f ms\n",
+                report.latency_mean_ms, report.latency_median_ms,
+                report.latency_p99_ms);
+  } else {
+    for (const auto& [node, bps] : report.median_bitrate_bps) {
+      std::printf("bitrate    %-12s median %7.0f Kbps per client\n",
+                  scene.node_name(node).c_str(), bps / 1e3);
+    }
+  }
+  std::printf("migrations %zu\n", report.migrations);
+  std::printf("probes     %.2f MB\n", static_cast<double>(report.probe_bytes) / 1e6);
+  return 0;
+}
+
+int cmd_dot(const std::string& path, const std::string& out_path) {
+  auto s = scenario::Scenario::from_file(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "scenario error: %s\n", s.error().c_str());
+    return 1;
+  }
+  auto& scene = *s.value();
+  std::unordered_map<app::ComponentId, net::NodeId> placement;
+  for (app::ComponentId c = 0; c < scene.app().component_count(); ++c) {
+    placement[c] = scene.orchestrator().node_of(scene.deployment(), c);
+  }
+  const std::string dot = app::to_dot(scene.app(), &placement);
+  if (out_path.empty()) {
+    std::fputs(dot.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    out << dot;
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_trace(const std::vector<std::string>& args) {
+  std::map<std::string, std::string> opts;
+  bool fades = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--fades") {
+      fades = true;
+    } else if (args[i].rfind("--", 0) == 0 && i + 1 < args.size()) {
+      const std::string key = args[i];
+      opts[key] = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (!opts.count("--mean-mbps")) return usage();
+
+  trace::GeneratorParams params;
+  params.mean_bps = static_cast<net::Bps>(std::atof(opts["--mean-mbps"].c_str()) * 1e6);
+  if (opts.count("--stddev-frac")) {
+    params.stddev_frac = std::atof(opts["--stddev-frac"].c_str());
+  }
+  params.duration = sim::seconds_f(
+      opts.count("--duration-s") ? std::atof(opts["--duration-s"].c_str()) : 1200);
+  if (fades) params.fade_probability = 0.002;
+  util::Rng rng(opts.count("--seed")
+                    ? static_cast<std::uint64_t>(std::atoll(opts["--seed"].c_str()))
+                    : 1);
+  const auto generated = trace::generate_trace(params, rng);
+
+  const std::string out = opts.count("--out") ? opts["--out"] : "";
+  if (out.empty()) {
+    for (const auto& p : generated.points()) {
+      std::printf("%.0f,%lld\n", sim::to_seconds(p.at),
+                  static_cast<long long>(p.bps));
+    }
+  } else if (!generated.save_csv(out)) {
+    std::fprintf(stderr, "cannot write '%s'\n", out.c_str());
+    return 1;
+  } else {
+    std::printf("wrote %zu points to %s (mean %.2f Mbps, std %.1f%%)\n",
+                generated.size(), out.c_str(), generated.mean_bps() / 1e6,
+                100.0 * generated.stddev_bps() / generated.mean_bps());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "validate" && args.size() == 1) return cmd_validate(args[0]);
+  if (cmd == "run" && args.size() == 1) return cmd_run(args[0]);
+  if (cmd == "dot" && (args.size() == 1 || args.size() == 2)) {
+    return cmd_dot(args[0], args.size() == 2 ? args[1] : "");
+  }
+  if (cmd == "trace") return cmd_trace(args);
+  return usage();
+}
