@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fairness"
+  "../bench/bench_ablation_fairness.pdb"
+  "CMakeFiles/bench_ablation_fairness.dir/bench_ablation_fairness.cpp.o"
+  "CMakeFiles/bench_ablation_fairness.dir/bench_ablation_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_probing"
+  "../bench/bench_ablation_probing.pdb"
+  "CMakeFiles/bench_ablation_probing.dir/bench_ablation_probing.cpp.o"
+  "CMakeFiles/bench_ablation_probing.dir/bench_ablation_probing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

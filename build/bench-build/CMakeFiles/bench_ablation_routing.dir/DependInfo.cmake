@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_routing.cpp" "bench-build/CMakeFiles/bench_ablation_routing.dir/bench_ablation_routing.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_routing.dir/bench_ablation_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bass_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bass_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/bass_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/bass_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bass_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/bass_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bass_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bass_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bass_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

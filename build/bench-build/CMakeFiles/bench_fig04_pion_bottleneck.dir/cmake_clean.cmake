@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_pion_bottleneck"
+  "../bench/bench_fig04_pion_bottleneck.pdb"
+  "CMakeFiles/bench_fig04_pion_bottleneck.dir/bench_fig04_pion_bottleneck.cpp.o"
+  "CMakeFiles/bench_fig04_pion_bottleneck.dir/bench_fig04_pion_bottleneck.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_pion_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_socialnet_throttle"
+  "../bench/bench_fig05_socialnet_throttle.pdb"
+  "CMakeFiles/bench_fig05_socialnet_throttle.dir/bench_fig05_socialnet_throttle.cpp.o"
+  "CMakeFiles/bench_fig05_socialnet_throttle.dir/bench_fig05_socialnet_throttle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_socialnet_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

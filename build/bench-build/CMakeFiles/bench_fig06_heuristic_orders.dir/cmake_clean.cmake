@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_heuristic_orders"
+  "../bench/bench_fig06_heuristic_orders.pdb"
+  "CMakeFiles/bench_fig06_heuristic_orders.dir/bench_fig06_heuristic_orders.cpp.o"
+  "CMakeFiles/bench_fig06_heuristic_orders.dir/bench_fig06_heuristic_orders.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_heuristic_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

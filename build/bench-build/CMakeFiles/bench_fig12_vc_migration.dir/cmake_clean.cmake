@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_vc_migration"
+  "../bench/bench_fig12_vc_migration.pdb"
+  "CMakeFiles/bench_fig12_vc_migration.dir/bench_fig12_vc_migration.cpp.o"
+  "CMakeFiles/bench_fig12_vc_migration.dir/bench_fig12_vc_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_vc_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

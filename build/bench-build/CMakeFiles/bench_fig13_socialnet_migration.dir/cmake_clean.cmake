@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_socialnet_migration"
+  "../bench/bench_fig13_socialnet_migration.pdb"
+  "CMakeFiles/bench_fig13_socialnet_migration.dir/bench_fig13_socialnet_migration.cpp.o"
+  "CMakeFiles/bench_fig13_socialnet_migration.dir/bench_fig13_socialnet_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_socialnet_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

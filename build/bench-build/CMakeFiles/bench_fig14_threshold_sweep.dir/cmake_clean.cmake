@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_threshold_sweep"
+  "../bench/bench_fig14_threshold_sweep.pdb"
+  "CMakeFiles/bench_fig14_threshold_sweep.dir/bench_fig14_threshold_sweep.cpp.o"
+  "CMakeFiles/bench_fig14_threshold_sweep.dir/bench_fig14_threshold_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_vc_mesh"
+  "../bench/bench_fig15_vc_mesh.pdb"
+  "CMakeFiles/bench_fig15_vc_mesh.dir/bench_fig15_vc_mesh.cpp.o"
+  "CMakeFiles/bench_fig15_vc_mesh.dir/bench_fig15_vc_mesh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_vc_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

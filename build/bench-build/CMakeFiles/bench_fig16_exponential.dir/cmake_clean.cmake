@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_exponential"
+  "../bench/bench_fig16_exponential.pdb"
+  "CMakeFiles/bench_fig16_exponential.dir/bench_fig16_exponential.cpp.o"
+  "CMakeFiles/bench_fig16_exponential.dir/bench_fig16_exponential.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_exponential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_migration_iterations"
+  "../bench/bench_table1_migration_iterations.pdb"
+  "CMakeFiles/bench_table1_migration_iterations.dir/bench_table1_migration_iterations.cpp.o"
+  "CMakeFiles/bench_table1_migration_iterations.dir/bench_table1_migration_iterations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_migration_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

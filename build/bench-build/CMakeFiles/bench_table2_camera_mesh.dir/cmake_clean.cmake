@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_camera_mesh"
+  "../bench/bench_table2_camera_mesh.pdb"
+  "CMakeFiles/bench_table2_camera_mesh.dir/bench_table2_camera_mesh.cpp.o"
+  "CMakeFiles/bench_table2_camera_mesh.dir/bench_table2_camera_mesh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_camera_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

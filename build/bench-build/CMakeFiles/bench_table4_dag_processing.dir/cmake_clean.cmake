@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_dag_processing"
+  "../bench/bench_table4_dag_processing.pdb"
+  "CMakeFiles/bench_table4_dag_processing.dir/bench_table4_dag_processing.cpp.o"
+  "CMakeFiles/bench_table4_dag_processing.dir/bench_table4_dag_processing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dag_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

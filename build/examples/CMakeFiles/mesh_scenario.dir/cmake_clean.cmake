@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_scenario.dir/mesh_scenario.cpp.o"
+  "CMakeFiles/mesh_scenario.dir/mesh_scenario.cpp.o.d"
+  "mesh_scenario"
+  "mesh_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_conference_mesh.dir/video_conference_mesh.cpp.o"
+  "CMakeFiles/video_conference_mesh.dir/video_conference_mesh.cpp.o.d"
+  "video_conference_mesh"
+  "video_conference_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_conference_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

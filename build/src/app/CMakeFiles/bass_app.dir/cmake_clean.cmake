@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_app.dir/app_graph.cpp.o"
+  "CMakeFiles/bass_app.dir/app_graph.cpp.o.d"
+  "CMakeFiles/bass_app.dir/catalog.cpp.o"
+  "CMakeFiles/bass_app.dir/catalog.cpp.o.d"
+  "CMakeFiles/bass_app.dir/dot.cpp.o"
+  "CMakeFiles/bass_app.dir/dot.cpp.o.d"
+  "libbass_app.a"
+  "libbass_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

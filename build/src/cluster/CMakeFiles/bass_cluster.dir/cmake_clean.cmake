@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/bass_cluster.dir/cluster.cpp.o.d"
+  "libbass_cluster.a"
+  "libbass_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_controller.dir/migration_policy.cpp.o"
+  "CMakeFiles/bass_controller.dir/migration_policy.cpp.o.d"
+  "libbass_controller.a"
+  "libbass_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

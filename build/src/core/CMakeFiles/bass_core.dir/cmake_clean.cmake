@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_core.dir/orchestrator.cpp.o"
+  "CMakeFiles/bass_core.dir/orchestrator.cpp.o.d"
+  "libbass_core.a"
+  "libbass_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbass_core.a"
+)

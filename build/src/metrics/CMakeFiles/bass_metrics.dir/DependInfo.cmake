@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cdf.cpp" "src/metrics/CMakeFiles/bass_metrics.dir/cdf.cpp.o" "gcc" "src/metrics/CMakeFiles/bass_metrics.dir/cdf.cpp.o.d"
+  "/root/repo/src/metrics/latency_recorder.cpp" "src/metrics/CMakeFiles/bass_metrics.dir/latency_recorder.cpp.o" "gcc" "src/metrics/CMakeFiles/bass_metrics.dir/latency_recorder.cpp.o.d"
+  "/root/repo/src/metrics/time_series.cpp" "src/metrics/CMakeFiles/bass_metrics.dir/time_series.cpp.o" "gcc" "src/metrics/CMakeFiles/bass_metrics.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bass_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bass_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_metrics.dir/cdf.cpp.o"
+  "CMakeFiles/bass_metrics.dir/cdf.cpp.o.d"
+  "CMakeFiles/bass_metrics.dir/latency_recorder.cpp.o"
+  "CMakeFiles/bass_metrics.dir/latency_recorder.cpp.o.d"
+  "CMakeFiles/bass_metrics.dir/time_series.cpp.o"
+  "CMakeFiles/bass_metrics.dir/time_series.cpp.o.d"
+  "libbass_metrics.a"
+  "libbass_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/net_monitor.cpp" "src/monitor/CMakeFiles/bass_monitor.dir/net_monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/bass_monitor.dir/net_monitor.cpp.o.d"
+  "/root/repo/src/monitor/traffic_stats.cpp" "src/monitor/CMakeFiles/bass_monitor.dir/traffic_stats.cpp.o" "gcc" "src/monitor/CMakeFiles/bass_monitor.dir/traffic_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/bass_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bass_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/bass_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bass_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bass_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_monitor.dir/net_monitor.cpp.o"
+  "CMakeFiles/bass_monitor.dir/net_monitor.cpp.o.d"
+  "CMakeFiles/bass_monitor.dir/traffic_stats.cpp.o"
+  "CMakeFiles/bass_monitor.dir/traffic_stats.cpp.o.d"
+  "libbass_monitor.a"
+  "libbass_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_net.dir/maxmin.cpp.o"
+  "CMakeFiles/bass_net.dir/maxmin.cpp.o.d"
+  "CMakeFiles/bass_net.dir/network.cpp.o"
+  "CMakeFiles/bass_net.dir/network.cpp.o.d"
+  "CMakeFiles/bass_net.dir/routing.cpp.o"
+  "CMakeFiles/bass_net.dir/routing.cpp.o.d"
+  "CMakeFiles/bass_net.dir/topology.cpp.o"
+  "CMakeFiles/bass_net.dir/topology.cpp.o.d"
+  "libbass_net.a"
+  "libbass_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

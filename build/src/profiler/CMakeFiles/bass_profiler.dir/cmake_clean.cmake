@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_profiler.dir/online_profiler.cpp.o"
+  "CMakeFiles/bass_profiler.dir/online_profiler.cpp.o.d"
+  "libbass_profiler.a"
+  "libbass_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

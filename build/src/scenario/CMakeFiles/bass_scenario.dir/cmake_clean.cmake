@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/bass_scenario.dir/scenario.cpp.o.d"
+  "libbass_scenario.a"
+  "libbass_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bass_scheduler.cpp" "src/sched/CMakeFiles/bass_sched.dir/bass_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/bass_sched.dir/bass_scheduler.cpp.o.d"
+  "/root/repo/src/sched/heuristics.cpp" "src/sched/CMakeFiles/bass_sched.dir/heuristics.cpp.o" "gcc" "src/sched/CMakeFiles/bass_sched.dir/heuristics.cpp.o.d"
+  "/root/repo/src/sched/k3s_scheduler.cpp" "src/sched/CMakeFiles/bass_sched.dir/k3s_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/bass_sched.dir/k3s_scheduler.cpp.o.d"
+  "/root/repo/src/sched/network_view.cpp" "src/sched/CMakeFiles/bass_sched.dir/network_view.cpp.o" "gcc" "src/sched/CMakeFiles/bass_sched.dir/network_view.cpp.o.d"
+  "/root/repo/src/sched/node_ranker.cpp" "src/sched/CMakeFiles/bass_sched.dir/node_ranker.cpp.o" "gcc" "src/sched/CMakeFiles/bass_sched.dir/node_ranker.cpp.o.d"
+  "/root/repo/src/sched/packer.cpp" "src/sched/CMakeFiles/bass_sched.dir/packer.cpp.o" "gcc" "src/sched/CMakeFiles/bass_sched.dir/packer.cpp.o.d"
+  "/root/repo/src/sched/rescheduler.cpp" "src/sched/CMakeFiles/bass_sched.dir/rescheduler.cpp.o" "gcc" "src/sched/CMakeFiles/bass_sched.dir/rescheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/bass_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/bass_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bass_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bass_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bass_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

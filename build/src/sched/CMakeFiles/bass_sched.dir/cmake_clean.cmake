@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_sched.dir/bass_scheduler.cpp.o"
+  "CMakeFiles/bass_sched.dir/bass_scheduler.cpp.o.d"
+  "CMakeFiles/bass_sched.dir/heuristics.cpp.o"
+  "CMakeFiles/bass_sched.dir/heuristics.cpp.o.d"
+  "CMakeFiles/bass_sched.dir/k3s_scheduler.cpp.o"
+  "CMakeFiles/bass_sched.dir/k3s_scheduler.cpp.o.d"
+  "CMakeFiles/bass_sched.dir/network_view.cpp.o"
+  "CMakeFiles/bass_sched.dir/network_view.cpp.o.d"
+  "CMakeFiles/bass_sched.dir/node_ranker.cpp.o"
+  "CMakeFiles/bass_sched.dir/node_ranker.cpp.o.d"
+  "CMakeFiles/bass_sched.dir/packer.cpp.o"
+  "CMakeFiles/bass_sched.dir/packer.cpp.o.d"
+  "CMakeFiles/bass_sched.dir/rescheduler.cpp.o"
+  "CMakeFiles/bass_sched.dir/rescheduler.cpp.o.d"
+  "libbass_sched.a"
+  "libbass_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/bass_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/bass_sim.dir/simulation.cpp.o"
+  "CMakeFiles/bass_sim.dir/simulation.cpp.o.d"
+  "libbass_sim.a"
+  "libbass_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_trace.dir/citylab.cpp.o"
+  "CMakeFiles/bass_trace.dir/citylab.cpp.o.d"
+  "CMakeFiles/bass_trace.dir/generator.cpp.o"
+  "CMakeFiles/bass_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/bass_trace.dir/player.cpp.o"
+  "CMakeFiles/bass_trace.dir/player.cpp.o.d"
+  "CMakeFiles/bass_trace.dir/trace.cpp.o"
+  "CMakeFiles/bass_trace.dir/trace.cpp.o.d"
+  "libbass_trace.a"
+  "libbass_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

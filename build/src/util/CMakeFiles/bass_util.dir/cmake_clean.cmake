@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_util.dir/csv.cpp.o"
+  "CMakeFiles/bass_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bass_util.dir/ini.cpp.o"
+  "CMakeFiles/bass_util.dir/ini.cpp.o.d"
+  "CMakeFiles/bass_util.dir/logging.cpp.o"
+  "CMakeFiles/bass_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bass_util.dir/stats.cpp.o"
+  "CMakeFiles/bass_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bass_util.dir/strings.cpp.o"
+  "CMakeFiles/bass_util.dir/strings.cpp.o.d"
+  "libbass_util.a"
+  "libbass_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bass_workload.dir/camera_pipeline.cpp.o"
+  "CMakeFiles/bass_workload.dir/camera_pipeline.cpp.o.d"
+  "CMakeFiles/bass_workload.dir/pair_stream.cpp.o"
+  "CMakeFiles/bass_workload.dir/pair_stream.cpp.o.d"
+  "CMakeFiles/bass_workload.dir/request_engine.cpp.o"
+  "CMakeFiles/bass_workload.dir/request_engine.cpp.o.d"
+  "CMakeFiles/bass_workload.dir/video_conference.cpp.o"
+  "CMakeFiles/bass_workload.dir/video_conference.cpp.o.d"
+  "libbass_workload.a"
+  "libbass_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bass_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packer_property_test.dir/packer_property_test.cpp.o"
+  "CMakeFiles/packer_property_test.dir/packer_property_test.cpp.o.d"
+  "packer_property_test"
+  "packer_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

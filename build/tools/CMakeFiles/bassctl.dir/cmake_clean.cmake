@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bassctl.dir/bassctl.cpp.o"
+  "CMakeFiles/bassctl.dir/bassctl.cpp.o.d"
+  "bassctl"
+  "bassctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bassctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
