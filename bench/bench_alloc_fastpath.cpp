@@ -1,0 +1,341 @@
+// Allocator fast-path throughput: the incremental engine (entity cache +
+// active-set kernel + contention-component reallocation) vs. the seed's
+// from-scratch approach (rebuild every entity with copied paths, run the
+// brute-force kernel) on synthetic meshes under trace-driven churn.
+//
+// Every tick batches 1-4 link capacity updates (a CityLab trace tick) and
+// occasionally churns a flow (close + reopen elsewhere), the mix the BASS
+// control loop generates at scale. Both sides replay the identical
+// pre-generated op sequence; at the end the incremental engine's rates are
+// checked against a from-scratch reference solve of the final state.
+//
+// Emits BENCH_alloc_fastpath.json next to the working directory so the
+// speedup is on the record; `--smoke` (or BASS_BENCH_SMOKE=1) runs a tiny
+// config for CI.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "net/maxmin.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace bass::bench {
+namespace {
+
+struct FlowSpec {
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  net::Bps demand = 0;  // kUnlimitedRate models a backlogged bulk flow
+};
+
+struct Tick {
+  std::vector<std::pair<net::LinkId, net::Bps>> cap_updates;
+  int churn_flow = -1;  // index into the flow set, or -1
+  FlowSpec churn_spec;
+};
+
+struct Scenario {
+  int nodes = 0;
+  int flows = 0;
+  int ticks = 0;
+};
+
+struct SideResult {
+  std::int64_t events = 0;  // allocator passes
+  double seconds = 0.0;
+  double events_per_sec() const { return events / std::max(seconds, 1e-12); }
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  int links = 0;
+  SideResult incremental;
+  SideResult baseline;
+  double avg_flows_touched = 0.0;
+  double alloc_seconds = 0.0;  // wall time inside the incremental allocator
+  double max_rate_diff_bps = 0.0;
+  // Network::stream_rate() quantizes to integer bps while the baseline
+  // keeps doubles, and the kernels may differ by kAllocEps around freeze
+  // thresholds — so up to ~1 bps of apparent difference is measurement
+  // noise, not divergence.
+  static constexpr double kRateTolBps = 2.0;
+  double speedup() const {
+    return incremental.events_per_sec() / std::max(baseline.events_per_sec(), 1e-12);
+  }
+};
+
+// Random connected mesh: ring plus chords, directed capacities 5-100 Mbps.
+net::Topology make_mesh(int nodes, util::Rng& rng) {
+  net::Topology topo;
+  for (int i = 0; i < nodes; ++i) topo.add_node("n" + std::to_string(i));
+  for (int i = 0; i < nodes; ++i) {
+    topo.add_link(i, (i + 1) % nodes, net::mbps(rng.uniform_int(5, 100)),
+                  net::mbps(rng.uniform_int(5, 100)));
+  }
+  // ~1.5 chords per node keeps paths multi-hop but the mesh sparse, like a
+  // community deployment.
+  const int chords = nodes + nodes / 2;
+  for (int c = 0; c < chords; ++c) {
+    const auto a = static_cast<net::NodeId>(rng.uniform_int(0, nodes - 1));
+    const auto b = static_cast<net::NodeId>(rng.uniform_int(0, nodes - 1));
+    if (a == b || topo.link_between(a, b)) continue;
+    topo.add_link(a, b, net::mbps(rng.uniform_int(5, 100)),
+                  net::mbps(rng.uniform_int(5, 100)));
+  }
+  return topo;
+}
+
+// Community-mesh traffic is locality-biased: most flows terminate at a
+// nearby node (a neighbourhood gateway or peer), not a uniformly random
+// one. Destinations are drawn within a ring distance that grows slowly
+// with mesh size, so large meshes keep several contention components —
+// all-pairs uniform traffic would weld the whole mesh into one.
+FlowSpec random_flow(int nodes, util::Rng& rng) {
+  FlowSpec f;
+  f.src = static_cast<net::NodeId>(rng.uniform_int(0, nodes - 1));
+  // A neighbourhood's reach does not grow with the size of the mesh.
+  const int reach = std::min(8, std::max(2, nodes / 16));
+  const int offset = static_cast<int>(rng.uniform_int(1, reach));
+  const int step = rng.chance(0.5) ? offset : nodes - offset;
+  f.dst = static_cast<net::NodeId>((f.src + step) % nodes);
+  f.demand = rng.chance(0.2) ? net::kUnlimitedRate
+                             : net::mbps(rng.uniform_int(1, 50));
+  return f;
+}
+
+std::vector<Tick> make_ticks(const Scenario& sc, const net::Topology& topo,
+                             util::Rng& rng) {
+  std::vector<Tick> ticks(static_cast<std::size_t>(sc.ticks));
+  for (Tick& tick : ticks) {
+    const int updates = static_cast<int>(rng.uniform_int(1, 4));
+    for (int u = 0; u < updates; ++u) {
+      tick.cap_updates.emplace_back(
+          static_cast<net::LinkId>(rng.uniform_int(0, topo.link_count() - 1)),
+          net::mbps(rng.uniform_int(1, 100)));
+    }
+    if (rng.chance(0.15)) {
+      tick.churn_flow = static_cast<int>(rng.uniform_int(0, sc.flows - 1));
+      tick.churn_spec = random_flow(sc.nodes, rng);
+    }
+  }
+  return ticks;
+}
+
+// ---- Incremental side: drive the real Network ----
+
+SideResult run_incremental(const net::Topology& topo,
+                           const std::vector<Tick>& ticks,
+                           const std::vector<FlowSpec>& flows,
+                           std::vector<double>& final_rates,
+                           double& avg_flows_touched, double& alloc_seconds) {
+  sim::Simulation sim;
+  net::Network network(sim, topo);
+  std::vector<net::StreamId> ids;
+  std::vector<FlowSpec> live = flows;
+  ids.reserve(flows.size());
+  for (const FlowSpec& f : flows) {
+    ids.push_back(network.open_stream(f.src, f.dst, f.demand));
+  }
+
+  const auto passes_before = network.reallocation_count();
+  const auto touched_before = network.alloc_stats().flows_touched;
+  const auto alloc_before = network.alloc_stats().alloc_seconds;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Tick& tick : ticks) {
+    {
+      net::Network::BatchUpdate batch(network);
+      for (const auto& [link, bps] : tick.cap_updates) {
+        network.set_link_capacity(link, bps);
+      }
+    }
+    if (tick.churn_flow >= 0) {
+      const auto idx = static_cast<std::size_t>(tick.churn_flow);
+      network.close_stream(ids[idx]);
+      ids[idx] = network.open_stream(tick.churn_spec.src, tick.churn_spec.dst,
+                                     tick.churn_spec.demand);
+      live[idx] = tick.churn_spec;
+    }
+  }
+  SideResult res;
+  res.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  res.events = network.reallocation_count() - passes_before;
+  const auto passes = std::max<std::int64_t>(res.events, 1);
+  avg_flows_touched =
+      static_cast<double>(network.alloc_stats().flows_touched - touched_before) /
+      static_cast<double>(passes);
+  alloc_seconds = network.alloc_stats().alloc_seconds - alloc_before;
+
+  final_rates.clear();
+  for (net::StreamId id : ids) {
+    final_rates.push_back(static_cast<double>(network.stream_rate(id)));
+  }
+  return res;
+}
+
+// ---- Baseline side: the seed engine's cost model ----
+//
+// What Network::reallocate() did before the fast path: every pass rebuilds
+// the full entity vector (copying each flow's path out of the routing
+// table) and runs the brute-force kernel over all flows × all links.
+
+SideResult run_baseline(const net::Topology& topo,
+                        const std::vector<Tick>& ticks,
+                        const std::vector<FlowSpec>& flows,
+                        std::vector<double>& final_rates) {
+  sim::Simulation sim;
+  net::Network network(sim, topo);  // routing table + capacities only
+  const net::RoutingTable& routing = network.routing();
+
+  std::vector<double> caps(static_cast<std::size_t>(topo.link_count()));
+  for (int l = 0; l < topo.link_count(); ++l) {
+    caps[static_cast<std::size_t>(l)] = static_cast<double>(topo.link(l).capacity);
+  }
+  std::vector<FlowSpec> live = flows;
+
+  std::vector<double> rates;
+  auto scratch_pass = [&] {
+    std::vector<net::AllocEntity> entities;
+    entities.reserve(live.size());
+    for (const FlowSpec& f : live) {
+      entities.push_back({static_cast<double>(f.demand), routing.path(f.src, f.dst)});
+    }
+    rates = net::max_min_allocate_reference(caps, entities);
+  };
+
+  SideResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  scratch_pass();  // flows just opened: the seed engine priced them per open
+  ++res.events;
+  for (const Tick& tick : ticks) {
+    for (const auto& [link, bps] : tick.cap_updates) {
+      caps[static_cast<std::size_t>(link)] = static_cast<double>(bps);
+    }
+    scratch_pass();  // one pass per batched tick
+    ++res.events;
+    if (tick.churn_flow >= 0) {
+      // Close then reopen: the seed engine repriced on each.
+      const auto idx = static_cast<std::size_t>(tick.churn_flow);
+      live[idx].demand = 0;
+      scratch_pass();
+      live[idx] = tick.churn_spec;
+      scratch_pass();
+      res.events += 2;
+    }
+  }
+  res.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  final_rates = rates;
+  return res;
+}
+
+ScenarioResult run_scenario(const Scenario& sc) {
+  util::Rng rng(0xBA55 + static_cast<std::uint64_t>(sc.nodes) * 31 +
+                static_cast<std::uint64_t>(sc.flows));
+  const net::Topology topo = make_mesh(sc.nodes, rng);
+  std::vector<FlowSpec> flows;
+  for (int f = 0; f < sc.flows; ++f) flows.push_back(random_flow(sc.nodes, rng));
+  const std::vector<Tick> ticks = make_ticks(sc, topo, rng);
+
+  ScenarioResult result;
+  result.scenario = sc;
+  result.links = topo.link_count();
+
+  std::vector<double> inc_rates, base_rates;
+  result.incremental =
+      run_incremental(topo, ticks, flows, inc_rates,
+                      result.avg_flows_touched, result.alloc_seconds);
+  result.baseline = run_baseline(topo, ticks, flows, base_rates);
+
+  // The incremental engine must land on the same final rates as a
+  // from-scratch solve of the identical end state.
+  for (std::size_t i = 0; i < inc_rates.size() && i < base_rates.size(); ++i) {
+    result.max_rate_diff_bps = std::max(
+        result.max_rate_diff_bps, std::abs(inc_rates[i] - base_rates[i]));
+  }
+  if (result.max_rate_diff_bps > ScenarioResult::kRateTolBps) {
+    std::fprintf(stderr, "FAIL: incremental/base rates diverged by %.3f bps\n",
+                 result.max_rate_diff_bps);
+  }
+  return result;
+}
+
+void write_json(const std::vector<ScenarioResult>& results, bool smoke) {
+  std::FILE* f = std::fopen("BENCH_alloc_fastpath.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_alloc_fastpath.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"alloc_fastpath\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %d, \"links\": %d, \"flows\": %d, \"ticks\": %d,\n"
+                 "     \"incremental\": {\"passes\": %lld, \"seconds\": %.6f, "
+                 "\"passes_per_sec\": %.1f, \"avg_flows_touched\": %.2f, "
+                 "\"alloc_seconds\": %.6f},\n"
+                 "     \"baseline\": {\"passes\": %lld, \"seconds\": %.6f, "
+                 "\"passes_per_sec\": %.1f},\n"
+                 "     \"speedup\": %.2f, \"max_rate_diff_bps\": %.4f}%s\n",
+                 r.scenario.nodes, r.links, r.scenario.flows, r.scenario.ticks,
+                 static_cast<long long>(r.incremental.events), r.incremental.seconds,
+                 r.incremental.events_per_sec(), r.avg_flows_touched,
+                 r.alloc_seconds,
+                 static_cast<long long>(r.baseline.events), r.baseline.seconds,
+                 r.baseline.events_per_sec(), r.speedup(), r.max_rate_diff_bps,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int run(bool smoke) {
+  print_header("alloc fast path: incremental engine vs from-scratch baseline");
+  std::vector<Scenario> scenarios;
+  if (smoke) {
+    scenarios = {{16, 10, 20}, {64, 50, 20}};
+  } else {
+    scenarios = {{16, 10, 400}, {64, 50, 400}, {128, 200, 300}, {256, 500, 200}};
+  }
+
+  std::printf("%6s %6s %6s %6s | %12s %12s | %8s %10s %12s\n", "nodes", "links",
+              "flows", "ticks", "inc pass/s", "base pass/s", "speedup",
+              "avg comp", "maxdiff bps");
+  std::vector<ScenarioResult> results;
+  bool rates_ok = true;
+  for (const Scenario& sc : scenarios) {
+    results.push_back(run_scenario(sc));
+    const ScenarioResult& r = results.back();
+    std::printf("%6d %6d %6d %6d | %12.1f %12.1f | %7.1fx %10.2f %12.4f\n",
+                r.scenario.nodes, r.links, r.scenario.flows, r.scenario.ticks,
+                r.incremental.events_per_sec(), r.baseline.events_per_sec(),
+                r.speedup(), r.avg_flows_touched, r.max_rate_diff_bps);
+    rates_ok = rates_ok && r.max_rate_diff_bps <= ScenarioResult::kRateTolBps;
+  }
+  write_json(results, smoke);
+  std::printf("wrote BENCH_alloc_fastpath.json\n");
+  if (!rates_ok) {
+    std::printf("RESULT: FAIL (incremental rates diverged from reference)\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bass::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const char* env = std::getenv("BASS_BENCH_SMOKE");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') smoke = true;
+  return bass::bench::run(smoke);
+}

@@ -3,12 +3,179 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <utility>
 
 namespace bass::net {
 
+void MaxMinSolver::ensure_links(std::size_t nl) {
+  if (link_stamp_.size() >= nl) return;
+  link_stamp_.resize(nl, 0);
+  remaining_.resize(nl, 0.0);
+  unfrozen_on_link_.resize(nl, 0);
+  flows_on_link_.resize(nl);
+}
+
+const std::vector<double>& MaxMinSolver::solve(
+    const std::vector<double>& capacities,
+    const std::vector<AllocEntityRef>& entities) {
+  const std::size_t nf = entities.size();
+  rates_.assign(nf, 0.0);
+  frozen_.assign(nf, 0);
+  ensure_links(capacities.size());
+  ++stamp_;
+  if (stamp_ == 0) {  // wrapped: invalidate every stale stamp
+    std::fill(link_stamp_.begin(), link_stamp_.end(), 0u);
+    stamp_ = 1;
+  }
+  active_links_.clear();
+  demand_order_.clear();
+  last_rounds_ = 0;
+
+  std::size_t unfrozen_count = 0;
+  for (std::size_t f = 0; f < nf; ++f) {
+    const AllocEntityRef& e = entities[f];
+    if (e.demand <= 0.0) {
+      frozen_[f] = 1;
+      continue;
+    }
+    assert(e.links != nullptr && !e.links->empty() &&
+           "demanding entity must traverse links");
+    ++unfrozen_count;
+    if (e.demand < static_cast<double>(kUnlimitedRate)) {
+      demand_order_.push_back(static_cast<int>(f));
+    }
+    for (LinkId l : *e.links) {
+      const auto li = static_cast<std::size_t>(l);
+      assert(l >= 0 && li < capacities.size());
+      if (link_stamp_[li] != stamp_) {
+        link_stamp_[li] = stamp_;
+        remaining_[li] = capacities[li];
+        unfrozen_on_link_[li] = 0;
+        flows_on_link_[li].clear();
+        active_links_.push_back(l);
+      }
+      ++unfrozen_on_link_[li];
+      flows_on_link_[li].push_back(static_cast<int>(f));
+    }
+  }
+
+  // Ascending demand frontier: the next flow to demand-freeze is always at
+  // `next_demand`, so a round never scans the whole flow set for the
+  // smallest remaining demand. Ties broken by index for determinism.
+  std::sort(demand_order_.begin(), demand_order_.end(), [&](int a, int b) {
+    const double da = entities[static_cast<std::size_t>(a)].demand;
+    const double db = entities[static_cast<std::size_t>(b)].demand;
+    return da != db ? da < db : a < b;
+  });
+  std::size_t next_demand = 0;
+
+  // Event-driven filling: instead of raising a water level in increments
+  // and rescanning links, process "events" — the level at which a link
+  // saturates, L_sat(l) = remaining_l / unfrozen_l, or a demand is met —
+  // in ascending order from a min-heap. Freezing a flow at level L only
+  // raises L_sat of the links it crossed (remaining drops by L ≤ L_sat,
+  // unfrozen drops by 1), so heap entries are lower bounds and can be
+  // revalidated lazily on pop: each round costs O(log) plus the freezes it
+  // performs, never a scan of the active link set.
+  const auto heap_greater = std::greater<std::pair<double, LinkId>>();
+  heap_.clear();
+  heap_.reserve(active_links_.size());
+  for (LinkId l : active_links_) {
+    const auto li = static_cast<std::size_t>(l);
+    heap_.emplace_back(remaining_[li] / unfrozen_on_link_[li], l);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), heap_greater);
+
+  // Every unfrozen flow has received exactly the common raises since round
+  // 0, so the water level IS its running allocation; freezing records the
+  // level (or the demand) instead of accumulating per-flow.
+  double level = 0.0;
+
+  auto freeze = [&](int f, double rate) {
+    frozen_[static_cast<std::size_t>(f)] = 1;
+    rates_[static_cast<std::size_t>(f)] = rate;
+    --unfrozen_count;
+    for (LinkId l : *entities[static_cast<std::size_t>(f)].links) {
+      const auto li = static_cast<std::size_t>(l);
+      remaining_[li] -= rate;
+      --unfrozen_on_link_[li];
+    }
+  };
+
+  // Each round freezes at least one flow; the guard is float head room.
+  std::size_t guard = nf + 2;
+  while (unfrozen_count > 0 && guard-- > 0) {
+    ++last_rounds_;
+    // Next link-saturation event, revalidating stale heap entries.
+    double link_level = std::numeric_limits<double>::infinity();
+    std::size_t link_idx = 0;  // valid only when link_level is finite
+    while (!heap_.empty()) {
+      const auto [stored, l] = heap_.front();
+      const auto li = static_cast<std::size_t>(l);
+      if (unfrozen_on_link_[li] <= 0) {  // fully frozen: retire the link
+        std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+        heap_.pop_back();
+        continue;
+      }
+      const double cur = remaining_[li] / unfrozen_on_link_[li];
+      if (cur > stored + kAllocEps) {  // stale lower bound: re-key
+        std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+        heap_.back().first = cur;
+        std::push_heap(heap_.begin(), heap_.end(), heap_greater);
+        continue;
+      }
+      link_level = std::max(cur, level);  // float noise may lag the level
+      link_idx = li;
+      break;
+    }
+    // Next demand event.
+    while (next_demand < demand_order_.size() &&
+           frozen_[static_cast<std::size_t>(demand_order_[next_demand])]) {
+      ++next_demand;
+    }
+    const double demand_level =
+        next_demand < demand_order_.size()
+            ? entities[static_cast<std::size_t>(demand_order_[next_demand])].demand
+            : std::numeric_limits<double>::infinity();
+    if (!std::isfinite(std::min(link_level, demand_level))) break;
+
+    if (demand_level <= link_level + kAllocEps) {
+      level = std::max(level, demand_level);
+      const int f = demand_order_[next_demand++];
+      freeze(f, entities[static_cast<std::size_t>(f)].demand);
+    } else {
+      level = std::max(level, link_level);
+      std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+      heap_.pop_back();
+      for (int f : flows_on_link_[link_idx]) {
+        if (!frozen_[static_cast<std::size_t>(f)]) freeze(f, level);
+      }
+    }
+  }
+
+  // Guard exhaustion (pathological float behaviour): pin leftovers at the
+  // final level, mirroring the reference kernel's running allocations.
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (!frozen_[f]) rates_[f] = std::min(entities[f].demand, level);
+    if (rates_[f] < 0.0) rates_[f] = 0.0;
+  }
+  return rates_;
+}
+
 std::vector<double> max_min_allocate(const std::vector<double>& capacities,
                                      const std::vector<AllocEntity>& entities) {
+  thread_local MaxMinSolver solver;
+  std::vector<AllocEntityRef> refs;
+  refs.reserve(entities.size());
+  for (const AllocEntity& e : entities) refs.push_back({e.demand, &e.links});
+  return solver.solve(capacities, refs);
+}
+
+std::vector<double> max_min_allocate_reference(
+    const std::vector<double>& capacities,
+    const std::vector<AllocEntity>& entities) {
   const std::size_t nf = entities.size();
   const std::size_t nl = capacities.size();
   std::vector<double> alloc(nf, 0.0);
@@ -32,9 +199,6 @@ std::vector<double> max_min_allocate(const std::vector<double>& capacities,
       flows_on_link[l].push_back(static_cast<int>(f));
     }
   }
-
-  // Absolute slack below which a link counts as saturated / a demand as met.
-  constexpr double kEps = 1e-3;  // 0.001 bps
 
   // Each iteration saturates a link or meets a demand, so the loop runs at
   // most nf + nl times; the +2 is head room for float edge cases.
@@ -62,14 +226,14 @@ std::vector<double> max_min_allocate(const std::vector<double>& capacities,
 
     // Freeze flows whose demand is met.
     for (std::size_t f = 0; f < nf; ++f) {
-      if (frozen[f] || alloc[f] + kEps < entities[f].demand) continue;
+      if (frozen[f] || alloc[f] + kAllocEps < entities[f].demand) continue;
       frozen[f] = true;
       --unfrozen_count;
       for (LinkId l : entities[f].links) --unfrozen_on_link[l];
     }
     // Freeze flows crossing a saturated link.
     for (std::size_t l = 0; l < nl; ++l) {
-      if (remaining[l] > kEps || unfrozen_on_link[l] == 0) continue;
+      if (remaining[l] > kAllocEps || unfrozen_on_link[l] == 0) continue;
       for (int f : flows_on_link[l]) {
         if (frozen[f]) continue;
         frozen[f] = true;
@@ -85,8 +249,10 @@ std::vector<double> max_min_allocate(const std::vector<double>& capacities,
   return alloc;
 }
 
-std::vector<double> proportional_allocate(const std::vector<double>& capacities,
-                                          const std::vector<AllocEntity>& entities) {
+namespace {
+
+std::vector<double> proportional_impl(const std::vector<double>& capacities,
+                                      const std::vector<AllocEntityRef>& entities) {
   const std::size_t nf = entities.size();
   const std::size_t nl = capacities.size();
 
@@ -95,21 +261,22 @@ std::vector<double> proportional_allocate(const std::vector<double>& capacities,
   // magnitude, preserving demand ratios in the proportional split.
   double max_capacity = 0.0;
   for (double c : capacities) max_capacity = std::max(max_capacity, c);
-  auto effective_demand = [&](const AllocEntity& e) {
+  auto effective_demand = [&](const AllocEntityRef& e) {
     return e.demand >= static_cast<double>(kUnlimitedRate) ? max_capacity : e.demand;
   };
 
   std::vector<double> offered(nl, 0.0);
-  for (const AllocEntity& e : entities) {
-    for (LinkId l : e.links) offered[static_cast<std::size_t>(l)] += effective_demand(e);
+  for (const AllocEntityRef& e : entities) {
+    if (e.demand <= 0.0 || e.links == nullptr) continue;
+    for (LinkId l : *e.links) offered[static_cast<std::size_t>(l)] += effective_demand(e);
   }
 
   std::vector<double> alloc(nf, 0.0);
   for (std::size_t f = 0; f < nf; ++f) {
-    const AllocEntity& e = entities[f];
-    if (e.demand <= 0.0) continue;
+    const AllocEntityRef& e = entities[f];
+    if (e.demand <= 0.0 || e.links == nullptr) continue;
     double scale = 1.0;
-    for (LinkId l : e.links) {
+    for (LinkId l : *e.links) {
       const std::size_t li = static_cast<std::size_t>(l);
       if (offered[li] > capacities[li]) {
         scale = std::min(scale, offered[li] <= 0.0 ? 0.0 : capacities[li] / offered[li]);
@@ -118,6 +285,22 @@ std::vector<double> proportional_allocate(const std::vector<double>& capacities,
     alloc[f] = effective_demand(e) * std::max(scale, 0.0);
   }
   return alloc;
+}
+
+}  // namespace
+
+std::vector<double> proportional_allocate(const std::vector<double>& capacities,
+                                          const std::vector<AllocEntity>& entities) {
+  std::vector<AllocEntityRef> refs;
+  refs.reserve(entities.size());
+  for (const AllocEntity& e : entities) refs.push_back({e.demand, &e.links});
+  return proportional_impl(capacities, refs);
+}
+
+std::vector<double> proportional_allocate_refs(
+    const std::vector<double>& capacities,
+    const std::vector<AllocEntityRef>& entities) {
+  return proportional_impl(capacities, entities);
 }
 
 }  // namespace bass::net

@@ -1,12 +1,29 @@
 // Max-min fair bandwidth allocation (progressive filling / water-filling)
-// with per-flow demand caps. Pure function so the fairness invariants are
-// directly testable; the Network wraps it with event-driven bookkeeping.
+// with per-flow demand caps. Pure functions so the fairness invariants are
+// directly testable; the Network wraps them with event-driven bookkeeping.
 //
 // This models what TCP-like congestion control converges to on shared
 // links, which is the regime the paper's testbed (tc-shaped links carrying
 // real application traffic) operates in.
+//
+// Two implementations are provided:
+//
+//  * MaxMinSolver — the production active-set kernel. All unfrozen flows
+//    share one common water level, and the candidate bottleneck set (link
+//    saturation levels plus a sorted demand frontier) is kept in a lazy
+//    min-heap, so a round costs O(log links) instead of a scan of every
+//    flow × every link. Entities reference their paths instead of owning
+//    copies, and
+//    per-link scratch is stamped rather than cleared, so a solve touches
+//    only the links the given entities actually cross — which is what makes
+//    contention-component-restricted reallocation in Network cheap.
+//  * max_min_allocate_reference — the original brute-force kernel, retained
+//    as the oracle for property tests and as the from-scratch baseline in
+//    bench_alloc_fastpath.
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "net/types.h"
@@ -21,10 +38,63 @@ struct AllocEntity {
   std::vector<LinkId> links;
 };
 
-// Returns the max-min fair rate (bps) for each entity, in input order.
-// `capacities[l]` is the capacity of directed link l.
+// Non-owning entity: the path lives elsewhere (the routing table, in
+// Network's case) and must outlive the solve call.
+struct AllocEntityRef {
+  double demand = 0.0;
+  const std::vector<LinkId>* links = nullptr;
+};
+
+// Absolute slack below which a link counts as saturated / a demand as met.
+// Shared by both kernels so they freeze at identical thresholds.
+inline constexpr double kAllocEps = 1e-3;  // 0.001 bps
+
+// Active-set water-filling solver with reusable scratch. A single instance
+// amortizes its per-link arrays across solves: scratch entries are
+// initialized lazily via a version stamp, so solve cost scales with the
+// links the entities cross, not with the size of `capacities`.
+class MaxMinSolver {
+ public:
+  // Returns the max-min fair rate (bps) per entity, in input order. The
+  // returned reference is invalidated by the next solve() call.
+  // `capacities[l]` is the capacity of directed link l; every LinkId in an
+  // entity path must index into it.
+  const std::vector<double>& solve(const std::vector<double>& capacities,
+                                   const std::vector<AllocEntityRef>& entities);
+
+  // Water-filling rounds executed by the last solve (diagnostics).
+  std::int64_t last_rounds() const { return last_rounds_; }
+
+ private:
+  void ensure_links(std::size_t nl);
+
+  std::uint32_t stamp_ = 0;
+  std::vector<std::uint32_t> link_stamp_;     // == stamp_ => initialized
+  std::vector<double> remaining_;             // per-link residual capacity
+  std::vector<int> unfrozen_on_link_;         // per-link unfrozen flow count
+  std::vector<std::vector<int>> flows_on_link_;
+  std::vector<LinkId> active_links_;          // links with unfrozen flows
+  // Lazy min-heap of (saturation level, link). Saturation levels only grow
+  // as flows freeze, so stale entries are re-keyed on pop.
+  std::vector<std::pair<double, LinkId>> heap_;
+  std::vector<int> demand_order_;             // finite-demand flows, ascending
+  std::vector<char> frozen_;
+  std::vector<double> rates_;
+  std::int64_t last_rounds_ = 0;
+};
+
+// Convenience wrapper over MaxMinSolver for owned entities (tests, ad-hoc
+// callers). Returns the max-min fair rate (bps) for each entity, in input
+// order.
 std::vector<double> max_min_allocate(const std::vector<double>& capacities,
                                      const std::vector<AllocEntity>& entities);
+
+// The original O(rounds × flows × links) progressive-filling kernel, kept
+// verbatim as the oracle: the active-set kernel must match it within
+// kAllocEps on every instance (tests/maxmin_property_test.cpp).
+std::vector<double> max_min_allocate_reference(
+    const std::vector<double>& capacities,
+    const std::vector<AllocEntity>& entities);
 
 // Proportional-share alternative (ablation baseline): every flow is scaled
 // by the worst oversubscription ratio along its path, so a congested link
@@ -33,5 +103,14 @@ std::vector<double> max_min_allocate(const std::vector<double>& capacities,
 // without backoff, or weighted shaping).
 std::vector<double> proportional_allocate(const std::vector<double>& capacities,
                                           const std::vector<AllocEntity>& entities);
+
+// Reference-based variant used by Network's entity cache. The unlimited-
+// demand cap is the max over the *full* capacities vector, so a solve
+// restricted to one contention component yields exactly the rates of a
+// whole-network solve (the cap is global, the per-link offered loads are
+// component-local by construction).
+std::vector<double> proportional_allocate_refs(
+    const std::vector<double>& capacities,
+    const std::vector<AllocEntityRef>& entities);
 
 }  // namespace bass::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 
 #include "util/logging.h"
@@ -11,16 +12,6 @@ namespace bass::net {
 namespace {
 
 // Drain time in whole microseconds for `bytes` at `rate_bps`, rounded up.
-// Dispatches to the configured fairness policy.
-std::vector<double> allocate_rates(net::FairnessPolicy policy,
-                                   const std::vector<double>& capacities,
-                                   const std::vector<net::AllocEntity>& entities) {
-  if (policy == net::FairnessPolicy::kProportional) {
-    return net::proportional_allocate(capacities, entities);
-  }
-  return net::max_min_allocate(capacities, entities);
-}
-
 sim::Duration drain_micros(double bytes, double rate_bps) {
   if (rate_bps <= 0.0) return -1;  // stalled
   const double us = bytes * 8.0 * 1e6 / rate_bps;
@@ -39,7 +30,15 @@ Network::Network(sim::Simulation& sim, Topology topology, NetworkConfig config)
       topology_(std::move(topology)),
       routing_(topology_, config.routing),
       config_(config),
-      link_allocated_(static_cast<std::size_t>(topology_.link_count()), 0.0) {}
+      link_entities_(static_cast<std::size_t>(topology_.link_count())),
+      link_visit_(static_cast<std::size_t>(topology_.link_count()), 0),
+      capacities_(static_cast<std::size_t>(topology_.link_count()), 0.0),
+      link_allocated_(static_cast<std::size_t>(topology_.link_count()), 0.0) {
+  for (int l = 0; l < topology_.link_count(); ++l) {
+    capacities_[static_cast<std::size_t>(l)] =
+        static_cast<double>(topology_.link(l).capacity);
+  }
+}
 
 Network::BatchUpdate::BatchUpdate(Network& net) : net_(net) { ++net_.batch_depth_; }
 
@@ -52,8 +51,13 @@ Network::BatchUpdate::~BatchUpdate() {
 
 void Network::set_link_capacity(LinkId link, Bps capacity) {
   if (topology_.link(link).capacity == capacity) return;
-  settle_all();  // progress flows at old rates before the world changes
+  // No settling here: flows whose rate the change can affect are settled at
+  // their pre-change rates inside reallocate(), which runs at this same
+  // instant (or at batch close, still within the same event).
   topology_.set_capacity(link, std::max<Bps>(capacity, 0));
+  capacities_[static_cast<std::size_t>(link)] =
+      static_cast<double>(topology_.link(link).capacity);
+  dirty_links_.push_back(link);
   if (batch_depth_ > 0) {
     batch_dirty_ = true;
   } else {
@@ -82,6 +86,60 @@ Network::Channel& Network::channel_for(NodeId src, NodeId dst) {
   return it->second;
 }
 
+int Network::add_entity(double demand, const std::vector<LinkId>* path,
+                        Channel* ch, Stream* st, std::int64_t key) {
+  int slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<int>(entities_.size());
+    entities_.emplace_back();
+    entity_visit_.push_back(0);
+  }
+  Entity& e = entities_[static_cast<std::size_t>(slot)];
+  e.demand = demand;
+  e.path = path;
+  e.channel = ch;
+  e.stream = st;
+  e.key = key;
+  e.active = true;
+  e.link_pos.resize(path->size());
+  for (std::size_t i = 0; i < path->size(); ++i) {
+    auto& occupants = link_entities_[static_cast<std::size_t>((*path)[i])];
+    e.link_pos[i] = static_cast<std::uint32_t>(occupants.size());
+    occupants.push_back({slot, static_cast<std::uint32_t>(i)});
+  }
+  ++active_entity_count_;
+  if (ch != nullptr) ++active_channel_entities_;
+  dirty_entities_.push_back(slot);
+  return slot;
+}
+
+void Network::remove_entity(int slot) {
+  Entity& e = entities_[static_cast<std::size_t>(slot)];
+  assert(e.active);
+  for (std::size_t i = 0; i < e.path->size(); ++i) {
+    const LinkId l = (*e.path)[i];
+    auto& occupants = link_entities_[static_cast<std::size_t>(l)];
+    const std::uint32_t pos = e.link_pos[i];
+    occupants[pos] = occupants.back();
+    const LinkRef moved = occupants[pos];
+    entities_[static_cast<std::size_t>(moved.slot)].link_pos[moved.path_idx] = pos;
+    occupants.pop_back();
+    // The vacated capacity may redistribute to whatever shared this link.
+    dirty_links_.push_back(l);
+  }
+  --active_entity_count_;
+  if (e.channel != nullptr) --active_channel_entities_;
+  e.active = false;
+  e.channel = nullptr;
+  e.stream = nullptr;
+  e.path = nullptr;
+  e.link_pos.clear();
+  free_slots_.push_back(slot);
+}
+
 TransferId Network::start_transfer(NodeId src, NodeId dst, std::int64_t bytes,
                                    TransferCallback done, Tag tag) {
   assert(bytes >= 0);
@@ -107,9 +165,14 @@ TransferId Network::start_transfer(NodeId src, NodeId dst, std::int64_t bytes,
   ch.fifo.push_back(Transfer{id, static_cast<double>(bytes), bytes, std::move(done), tag});
   transfer_channel_[id] = channel_key(src, dst);
   if (was_idle) {
-    settle_all();
-    active_channels_.push_back(channel_key(src, dst));
-    reallocate();  // a new contender changes everyone's share
+    // Fresh contender: nothing to settle (it moved no bytes while idle),
+    // but the stale idle-period rate must not leak into settlement.
+    ch.rate_bps = 0.0;
+    ch.last_update = sim_->now();
+    ch.entity_slot =
+        add_entity(static_cast<double>(kUnlimitedRate),
+                   routing_.path_ptr(src, dst), &ch, nullptr, channel_key(src, dst));
+    reallocate();  // a new contender changes its component's shares
   }
   // else: the channel was already backlogged; rates are unchanged.
   return id;
@@ -133,8 +196,8 @@ bool Network::cancel_transfer(TransferId id) {
       ch.head_event = sim::kInvalidEvent;
     }
     if (ch.fifo.empty()) {
-      settle_all();
-      std::erase(active_channels_, key);
+      remove_entity(ch.entity_slot);
+      ch.entity_slot = -1;
       reallocate();
     } else {
       schedule_head_event(key);
@@ -158,30 +221,58 @@ StreamId Network::open_stream(NodeId src, NodeId dst, Bps demand, Tag tag) {
     return id;
   }
   assert(routing_.reachable(src, dst) && "stream between partitioned nodes");
-  settle_all();
-  streams_[id] = st;
-  reallocate();
+  Stream& placed = streams_[id] = st;
+  if (placed.demand > 0) {
+    placed.entity_slot =
+        add_entity(static_cast<double>(placed.demand),
+                   routing_.path_ptr(src, dst), nullptr, &placed, id);
+    reallocate();
+  }
   return id;
 }
 
 void Network::set_stream_demand(StreamId id, Bps demand) {
   auto it = streams_.find(id);
   if (it == streams_.end()) return;
-  if (it->second.demand == demand) return;
-  settle_all();
-  it->second.demand = std::max<Bps>(demand, 0);
-  if (it->second.src == it->second.dst) {
-    it->second.rate_bps = static_cast<double>(it->second.demand);
+  Stream& st = it->second;
+  demand = std::max<Bps>(demand, 0);
+  if (st.demand == demand) return;
+  if (st.src == st.dst) {
+    settle_stream(st);  // progress accounting at the old rate first
+    st.demand = demand;
+    st.rate_bps = static_cast<double>(demand);
     return;
   }
-  reallocate();
+  st.demand = demand;
+  if (st.entity_slot >= 0) {
+    if (demand > 0) {
+      Entity& e = entities_[static_cast<std::size_t>(st.entity_slot)];
+      e.demand = static_cast<double>(demand);
+      dirty_entities_.push_back(st.entity_slot);
+    } else {
+      settle_stream(st);  // leaving the mesh: close out the old rate
+      remove_entity(st.entity_slot);
+      st.entity_slot = -1;
+      st.rate_bps = 0.0;
+    }
+    reallocate();
+  } else if (demand > 0) {
+    st.entity_slot = add_entity(static_cast<double>(demand),
+                                routing_.path_ptr(st.src, st.dst), nullptr, &st, id);
+    reallocate();
+  }
 }
 
 void Network::close_stream(StreamId id) {
   auto it = streams_.find(id);
   if (it == streams_.end()) return;
-  settle_all();
-  const bool meshed = it->second.src != it->second.dst;
+  Stream& st = it->second;
+  settle_stream(st);
+  const bool meshed = st.entity_slot >= 0;
+  if (meshed) {
+    remove_entity(st.entity_slot);
+    st.entity_slot = -1;
+  }
   streams_.erase(it);
   if (meshed) reallocate();
 }
@@ -206,24 +297,22 @@ Bps Network::path_available(NodeId src, NodeId dst) const {
   if (src == dst) return config_.loopback_bps;
   if (!routing_.reachable(src, dst)) return 0;
 
-  // Re-run the allocator with a phantom unbounded flow on the path.
-  std::vector<double> capacities(static_cast<std::size_t>(topology_.link_count()));
-  for (int l = 0; l < topology_.link_count(); ++l) {
-    capacities[static_cast<std::size_t>(l)] = static_cast<double>(topology_.link(l).capacity);
+  // Price a phantom unbounded flow on the path against only its contention
+  // component — flows sharing no link (transitively) with the path cannot
+  // affect its share, and the cached entities already carry their paths.
+  static const std::vector<int> kNoSeedEntities;
+  collect_component(routing_.path(src, dst), kNoSeedEntities);
+  refs_.clear();
+  refs_.reserve(comp_entities_.size() + 1);
+  for (int slot : comp_entities_) {
+    const Entity& e = entities_[static_cast<std::size_t>(slot)];
+    refs_.push_back({e.demand, e.path});
   }
-  std::vector<AllocEntity> entities;
-  for (std::int64_t key : active_channels_) {
-    const Channel& ch = channels_.at(key);
-    entities.push_back({static_cast<double>(kUnlimitedRate),
-                        routing_.path(ch.src, ch.dst)});
+  refs_.push_back({static_cast<double>(kUnlimitedRate), routing_.path_ptr(src, dst)});
+  if (config_.fairness == FairnessPolicy::kProportional) {
+    return static_cast<Bps>(proportional_allocate_refs(capacities_, refs_).back());
   }
-  for (const auto& [id, st] : streams_) {
-    if (st.src == st.dst || st.demand <= 0) continue;
-    entities.push_back({static_cast<double>(st.demand), routing_.path(st.src, st.dst)});
-  }
-  entities.push_back({static_cast<double>(kUnlimitedRate), routing_.path(src, dst)});
-  const auto rates = allocate_rates(config_.fairness, capacities, entities);
-  return static_cast<Bps>(rates.back());
+  return static_cast<Bps>(solver_.solve(capacities_, refs_).back());
 }
 
 void Network::account_bytes(Tag tag, double bytes) {
@@ -273,8 +362,58 @@ void Network::settle_stream(Stream& st) {
 }
 
 void Network::settle_all() {
-  for (std::int64_t key : active_channels_) settle_channel(channels_.at(key));
+  for (const Entity& e : entities_) {
+    if (e.active && e.channel != nullptr) settle_channel(*e.channel);
+  }
   for (auto& [id, st] : streams_) settle_stream(st);
+}
+
+void Network::collect_component(const std::vector<LinkId>& seed_links,
+                                const std::vector<int>& seed_entities) const {
+  ++visit_stamp_;
+  if (visit_stamp_ == 0) {  // wrapped: invalidate every stale stamp
+    std::fill(link_visit_.begin(), link_visit_.end(), 0u);
+    std::fill(entity_visit_.begin(), entity_visit_.end(), 0u);
+    visit_stamp_ = 1;
+  }
+  entity_visit_.resize(entities_.size(), 0);
+  comp_entities_.clear();
+  comp_links_.clear();
+
+  auto visit_link = [this](LinkId l) {
+    const auto li = static_cast<std::size_t>(l);
+    if (link_visit_[li] == visit_stamp_) return;
+    link_visit_[li] = visit_stamp_;
+    comp_links_.push_back(l);
+  };
+  auto visit_entity = [this](int slot) {
+    const auto si = static_cast<std::size_t>(slot);
+    if (entity_visit_[si] == visit_stamp_) return;
+    entity_visit_[si] = visit_stamp_;
+    // Dirty seeds may name freed slots (e.g. opened and closed within one
+    // batch); the links such an entity crossed are dirtied at removal.
+    if (entities_[si].active) comp_entities_.push_back(slot);
+  };
+
+  for (LinkId l : seed_links) visit_link(l);
+  for (int slot : seed_entities) {
+    visit_entity(slot);
+    if (entities_[static_cast<std::size_t>(slot)].active) {
+      for (LinkId l : *entities_[static_cast<std::size_t>(slot)].path) visit_link(l);
+    }
+  }
+  // comp_links_ doubles as the BFS frontier: every link appended past
+  // `head` still needs its occupants expanded.
+  for (std::size_t head = 0; head < comp_links_.size(); ++head) {
+    const auto li = static_cast<std::size_t>(comp_links_[head]);
+    for (const LinkRef& ref : link_entities_[li]) {
+      const auto si = static_cast<std::size_t>(ref.slot);
+      if (entity_visit_[si] == visit_stamp_) continue;
+      entity_visit_[si] = visit_stamp_;
+      comp_entities_.push_back(ref.slot);
+      for (LinkId l : *entities_[si].path) visit_link(l);
+    }
+  }
 }
 
 void Network::reallocate() {
@@ -282,55 +421,66 @@ void Network::reallocate() {
     batch_dirty_ = true;
     return;
   }
-  ++reallocation_count_;
+  const auto t0 = std::chrono::steady_clock::now();
+  ++alloc_stats_.reallocations;
 
-  std::vector<double> capacities(static_cast<std::size_t>(topology_.link_count()));
-  for (int l = 0; l < topology_.link_count(); ++l) {
-    capacities[static_cast<std::size_t>(l)] = static_cast<double>(topology_.link(l).capacity);
-  }
+  collect_component(dirty_links_, dirty_entities_);
+  dirty_links_.clear();
+  dirty_entities_.clear();
 
-  // Entities: active channels first, then demanding mesh streams (matching
-  // iteration below). Order within the vector does not affect fairness.
-  std::vector<AllocEntity> entities;
-  entities.reserve(active_channels_.size() + streams_.size());
-  for (std::int64_t key : active_channels_) {
-    const Channel& ch = channels_.at(key);
-    entities.push_back({static_cast<double>(kUnlimitedRate),
-                        routing_.path(ch.src, ch.dst)});
-  }
-  std::vector<StreamId> mesh_streams;
-  for (auto& [id, st] : streams_) {
-    if (st.src == st.dst || st.demand <= 0) continue;
-    mesh_streams.push_back(id);
-  }
-  // Deterministic iteration regardless of hash-map order.
-  std::sort(mesh_streams.begin(), mesh_streams.end());
-  for (StreamId id : mesh_streams) {
-    const Stream& st = streams_.at(id);
-    entities.push_back({static_cast<double>(st.demand), routing_.path(st.src, st.dst)});
-  }
+  // Links leaving/entering contention are re-derived from scratch below;
+  // untouched links keep their standing allocations (their flows' rates
+  // are provably unchanged).
+  for (LinkId l : comp_links_) link_allocated_[static_cast<std::size_t>(l)] = 0.0;
 
-  const auto rates = allocate_rates(config_.fairness, capacities, entities);
+  const auto touched = static_cast<std::int64_t>(comp_entities_.size());
+  alloc_stats_.flows_touched += touched;
+  alloc_stats_.links_touched += static_cast<std::int64_t>(comp_links_.size());
+  alloc_stats_.last_flows_touched = touched;
+  alloc_stats_.last_links_touched = static_cast<std::int64_t>(comp_links_.size());
+  alloc_stats_.max_component_flows = std::max(alloc_stats_.max_component_flows, touched);
+  if (touched == active_entity_count_ && touched > 0) ++alloc_stats_.full_reallocations;
 
-  std::fill(link_allocated_.begin(), link_allocated_.end(), 0.0);
-  std::size_t idx = 0;
-  for (std::int64_t key : active_channels_) {
-    Channel& ch = channels_.at(key);
-    ch.rate_bps = rates[idx];
-    for (LinkId l : routing_.path(ch.src, ch.dst)) {
-      link_allocated_[static_cast<std::size_t>(l)] += rates[idx];
+  if (!comp_entities_.empty()) {
+    // Settle at pre-change rates before repricing; flows outside the
+    // component keep their rates, so their accounting stays linear and can
+    // settle lazily.
+    refs_.clear();
+    refs_.reserve(comp_entities_.size());
+    for (int slot : comp_entities_) {
+      Entity& e = entities_[static_cast<std::size_t>(slot)];
+      if (e.channel != nullptr) {
+        settle_channel(*e.channel);
+      } else {
+        settle_stream(*e.stream);
+      }
+      refs_.push_back({e.demand, e.path});
     }
-    ++idx;
-    schedule_head_event(key);
-  }
-  for (StreamId id : mesh_streams) {
-    Stream& st = streams_.at(id);
-    st.rate_bps = rates[idx];
-    for (LinkId l : routing_.path(st.src, st.dst)) {
-      link_allocated_[static_cast<std::size_t>(l)] += rates[idx];
+
+    const std::vector<double>* rates;
+    std::vector<double> proportional;
+    if (config_.fairness == FairnessPolicy::kProportional) {
+      proportional = proportional_allocate_refs(capacities_, refs_);
+      rates = &proportional;
+    } else {
+      rates = &solver_.solve(capacities_, refs_);
     }
-    ++idx;
+
+    for (std::size_t i = 0; i < comp_entities_.size(); ++i) {
+      Entity& e = entities_[static_cast<std::size_t>(comp_entities_[i])];
+      const double rate = (*rates)[i];
+      for (LinkId l : *e.path) link_allocated_[static_cast<std::size_t>(l)] += rate;
+      if (e.channel != nullptr) {
+        e.channel->rate_bps = rate;
+        schedule_head_event(e.key);
+      } else {
+        e.stream->rate_bps = rate;
+      }
+    }
   }
+
+  alloc_stats_.alloc_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
 void Network::schedule_head_event(std::int64_t key) {
@@ -357,8 +507,8 @@ void Network::complete_head(std::int64_t key) {
   if (head.bytes_remaining > 0.0) account_bytes(head.tag, head.bytes_remaining);
 
   if (ch.fifo.empty()) {
-    settle_all();
-    std::erase(active_channels_, key);
+    remove_entity(ch.entity_slot);
+    ch.entity_slot = -1;
     reallocate();
   } else {
     schedule_head_event(key);

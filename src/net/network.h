@@ -10,6 +10,14 @@
 // Rates are recomputed only when the set of contending flows or a link
 // capacity changes — completions inside a busy channel don't perturb the
 // allocation, which keeps event counts tractable for long workloads.
+//
+// Allocation fast path: the Network maintains a persistent cache of
+// allocation entities (one per active channel / demanding mesh stream) with
+// per-link occupancy lists. A change dirties the links/flows it touches and
+// reallocation reprices only the contention component reachable from the
+// dirty set — flows that share no link (transitively) with the change keep
+// their rates, which is exact because max-min allocations of disjoint
+// components are independent. See DESIGN.md "Flow allocation fast path".
 #pragma once
 
 #include <cstdint>
@@ -47,6 +55,22 @@ struct NetworkConfig {
   RoutingPolicy routing = RoutingPolicy::kMinHop;
 };
 
+// Allocator observability (cumulative unless noted). `reallocations` counts
+// allocator passes; `flows_touched` counts entity repricings summed over
+// passes, so flows_touched / reallocations is the mean contention-component
+// size the engine actually paid for.
+struct AllocStats {
+  std::int64_t reallocations = 0;
+  // Passes whose component covered every active entity.
+  std::int64_t full_reallocations = 0;
+  std::int64_t flows_touched = 0;
+  std::int64_t links_touched = 0;
+  std::int64_t last_flows_touched = 0;   // most recent pass only
+  std::int64_t last_links_touched = 0;   // most recent pass only
+  std::int64_t max_component_flows = 0;  // largest component ever repriced
+  double alloc_seconds = 0.0;            // wall time inside collect+solve+apply
+};
+
 class Network {
  public:
   Network(sim::Simulation& sim, Topology topology, NetworkConfig config = {});
@@ -71,7 +95,9 @@ class Network {
   // Current sum of flow rates crossing the link (refreshed on reallocation).
   Bps link_allocated(LinkId link) const;
 
-  // Batch capacity updates: reallocation is deferred until the guard dies.
+  // Batch capacity updates: settling and reallocation are deferred until
+  // the guard dies, so a trace tick that touches L links settles and
+  // reprices once, not L times.
   class BatchUpdate {
    public:
     explicit BatchUpdate(Network& net);
@@ -103,7 +129,8 @@ class Network {
   // Bottleneck *raw* capacity along the routed path (ignores contention).
   Bps path_capacity(NodeId src, NodeId dst) const;
   // Rate a hypothetical new unbounded flow would receive on the path right
-  // now — the ground truth a flood probe estimates.
+  // now — the ground truth a flood probe estimates. Solves only the
+  // phantom flow's contention component against the entity cache.
   Bps path_available(NodeId src, NodeId dst) const;
 
   // Delivered bytes for a tag since the last take (settles flows first).
@@ -112,8 +139,11 @@ class Network {
   std::int64_t total_tag_bytes(Tag tag);
 
   std::int64_t total_bytes_delivered() const { return total_bytes_delivered_; }
-  std::int64_t reallocation_count() const { return reallocation_count_; }
-  std::size_t active_channel_count() const { return active_channels_.size(); }
+  std::int64_t reallocation_count() const { return alloc_stats_.reallocations; }
+  const AllocStats& alloc_stats() const { return alloc_stats_; }
+  std::size_t active_channel_count() const {
+    return static_cast<std::size_t>(active_channel_entities_);
+  }
   std::size_t stream_count() const { return streams_.size(); }
 
  private:
@@ -132,6 +162,7 @@ class Network {
     double rate_bps = 0.0;
     sim::Time last_update = 0;
     sim::EventId head_event = sim::kInvalidEvent;
+    int entity_slot = -1;  // slot in entities_ while backlogged, else -1
   };
 
   struct Stream {
@@ -142,6 +173,26 @@ class Network {
     sim::Time last_update = 0;
     Tag tag = 0;
     double byte_carry = 0.0;  // fractional bytes pending accounting
+    int entity_slot = -1;  // slot in entities_ while a demanding mesh flow
+  };
+
+  // One allocation entity: an active (backlogged) channel or a demanding
+  // mesh stream. Slots are stable (free-listed), so per-link occupancy
+  // lists and dirty sets can hold slot indices across churn.
+  struct Entity {
+    double demand = 0.0;
+    const std::vector<LinkId>* path = nullptr;  // owned by routing_
+    Channel* channel = nullptr;  // exactly one of channel/stream is set
+    Stream* stream = nullptr;
+    std::int64_t key = 0;  // channel key (head-event scheduling)
+    bool active = false;
+    // link_pos[i] is this slot's index within link_entities_[(*path)[i]],
+    // making detach an O(path) swap-remove instead of a list scan.
+    std::vector<std::uint32_t> link_pos;
+  };
+  struct LinkRef {
+    int slot = 0;
+    std::uint32_t path_idx = 0;  // index of this link within the slot's path
   };
 
   std::int64_t channel_key(NodeId src, NodeId dst) const {
@@ -153,7 +204,21 @@ class Network {
   void settle_channel(Channel& ch);
   void settle_stream(Stream& st);
   void settle_all();
-  // Recomputes all rates and reschedules head-completion events.
+
+  // Entity cache maintenance. Adding marks the entity dirty; removing
+  // marks its links dirty, so the next reallocate() reprices exactly the
+  // affected contention component.
+  int add_entity(double demand, const std::vector<LinkId>* path, Channel* ch,
+                 Stream* st, std::int64_t key);
+  void remove_entity(int slot);
+
+  // Flood-fills links ↔ entities from the dirty seeds into comp_links_ /
+  // comp_entities_ (every flow on an included link is included, so the
+  // result is closed under link sharing).
+  void collect_component(const std::vector<LinkId>& seed_links,
+                         const std::vector<int>& seed_entities) const;
+  // Settles and reprices the dirty contention component(s), then
+  // reschedules head events for repriced channels.
   void reallocate();
   void schedule_head_event(std::int64_t key);
   void complete_head(std::int64_t key);
@@ -165,10 +230,32 @@ class Network {
   NetworkConfig config_;
 
   std::unordered_map<std::int64_t, Channel> channels_;  // keyed by (src,dst)
-  std::vector<std::int64_t> active_channels_;           // keys with backlog
   std::unordered_map<StreamId, Stream> streams_;
   std::unordered_map<TransferId, std::int64_t> transfer_channel_;  // id -> key
 
+  // ---- Entity cache ----
+  std::vector<Entity> entities_;
+  std::vector<int> free_slots_;
+  std::vector<std::vector<LinkRef>> link_entities_;  // per-link active slots
+  int active_entity_count_ = 0;
+  int active_channel_entities_ = 0;
+
+  // Dirty seeds accumulated since the last allocator pass (deduplicated by
+  // the component walk, so plain vectors suffice).
+  std::vector<LinkId> dirty_links_;
+  std::vector<int> dirty_entities_;
+
+  // Component-walk + solver scratch. Mutable because path_available() is
+  // logically const but reuses the same buffers.
+  mutable MaxMinSolver solver_;
+  mutable std::vector<AllocEntityRef> refs_;
+  mutable std::vector<int> comp_entities_;
+  mutable std::vector<LinkId> comp_links_;
+  mutable std::vector<std::uint32_t> link_visit_;
+  mutable std::vector<std::uint32_t> entity_visit_;
+  mutable std::uint32_t visit_stamp_ = 0;
+
+  std::vector<double> capacities_;  // mirror of topology capacities
   std::vector<double> link_allocated_;
   std::unordered_map<Tag, double> tag_bytes_window_;
   std::unordered_map<Tag, double> tag_bytes_total_;
@@ -176,7 +263,7 @@ class Network {
   TransferId next_transfer_ = 1;
   StreamId next_stream_ = 1;
   std::int64_t total_bytes_delivered_ = 0;
-  std::int64_t reallocation_count_ = 0;
+  AllocStats alloc_stats_;
   int batch_depth_ = 0;
   bool batch_dirty_ = false;
 };

@@ -37,8 +37,16 @@ class RoutingTable {
   void recompute();
 
   // Directed links traversed from src to dst; empty when src == dst.
-  // The path is precomputed and stable — our "traceroute".
+  // The path is precomputed and stable — our "traceroute". The returned
+  // vector lives until the next recompute(), so callers (Network's entity
+  // cache, the allocator) may hold pointers to it instead of copying.
   const std::vector<LinkId>& path(NodeId src, NodeId dst) const;
+
+  // Pointer form of path() for long-lived references (see above for the
+  // lifetime guarantee).
+  const std::vector<LinkId>* path_ptr(NodeId src, NodeId dst) const {
+    return &path(src, dst);
+  }
 
   // Number of hops from src to dst (0 when colocated).
   int hops(NodeId src, NodeId dst) const {

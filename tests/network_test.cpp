@@ -196,6 +196,21 @@ TEST(Network, BatchUpdateCoalescesReallocations) {
   EXPECT_EQ(f.net->reallocation_count(), before + 1);
 }
 
+TEST(Network, BatchedCapacityChangeSettlesAccountingExactly) {
+  Fixture f;
+  // 4 Mbps stream for 5 s, then a batched two-link capacity drop pins it to
+  // 2 Mbps for 5 s. Byte accounting must settle exactly once at the old
+  // rate before the new rates apply: (4*5 + 2*5) Mbit = 3.75 MB.
+  f.net->open_stream(0, 2, mbps(4), /*tag=*/9);
+  f.sim.schedule_at(sim::seconds(5), [&] {
+    Network::BatchUpdate batch(*f.net);
+    f.net->set_link_capacity_between(0, 1, mbps(2));
+    f.net->set_link_capacity_between(1, 2, mbps(2));
+  });
+  f.sim.run_until(sim::seconds(10));
+  EXPECT_NEAR(static_cast<double>(f.net->take_tag_bytes(9)), 3.75e6, 2e4);
+}
+
 TEST(Network, ConservationAcrossManyTransfers) {
   Fixture f;
   // 20 staggered transfers in alternating directions; total delivered bytes
