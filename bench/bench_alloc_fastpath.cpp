@@ -265,34 +265,29 @@ ScenarioResult run_scenario(const Scenario& sc) {
 }
 
 void write_json(const std::vector<ScenarioResult>& results, bool smoke) {
-  std::FILE* f = std::fopen("BENCH_alloc_fastpath.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_alloc_fastpath.json\n");
-    return;
+  // One registry row per scenario, distinguished by labels — the shared
+  // BENCH_*.json schema (bench::write_bench_json).
+  obs::MetricsRegistry reg;
+  reg.gauge("smoke").set(smoke ? 1 : 0);
+  for (const ScenarioResult& r : results) {
+    const obs::Labels labels = {
+        {"nodes", std::to_string(r.scenario.nodes)},
+        {"links", std::to_string(r.links)},
+        {"flows", std::to_string(r.scenario.flows)},
+        {"ticks", std::to_string(r.scenario.ticks)},
+    };
+    reg.counter("incremental.passes", labels).add(r.incremental.events);
+    reg.gauge("incremental.seconds", labels).set(r.incremental.seconds);
+    reg.gauge("incremental.passes_per_sec", labels).set(r.incremental.events_per_sec());
+    reg.gauge("incremental.avg_flows_touched", labels).set(r.avg_flows_touched);
+    reg.gauge("incremental.alloc_seconds", labels).set(r.alloc_seconds);
+    reg.counter("baseline.passes", labels).add(r.baseline.events);
+    reg.gauge("baseline.seconds", labels).set(r.baseline.seconds);
+    reg.gauge("baseline.passes_per_sec", labels).set(r.baseline.events_per_sec());
+    reg.gauge("speedup", labels).set(r.speedup());
+    reg.gauge("max_rate_diff_bps", labels).set(r.max_rate_diff_bps);
   }
-  std::fprintf(f, "{\n  \"bench\": \"alloc_fastpath\",\n  \"smoke\": %s,\n",
-               smoke ? "true" : "false");
-  std::fprintf(f, "  \"scenarios\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const ScenarioResult& r = results[i];
-    std::fprintf(f,
-                 "    {\"nodes\": %d, \"links\": %d, \"flows\": %d, \"ticks\": %d,\n"
-                 "     \"incremental\": {\"passes\": %lld, \"seconds\": %.6f, "
-                 "\"passes_per_sec\": %.1f, \"avg_flows_touched\": %.2f, "
-                 "\"alloc_seconds\": %.6f},\n"
-                 "     \"baseline\": {\"passes\": %lld, \"seconds\": %.6f, "
-                 "\"passes_per_sec\": %.1f},\n"
-                 "     \"speedup\": %.2f, \"max_rate_diff_bps\": %.4f}%s\n",
-                 r.scenario.nodes, r.links, r.scenario.flows, r.scenario.ticks,
-                 static_cast<long long>(r.incremental.events), r.incremental.seconds,
-                 r.incremental.events_per_sec(), r.avg_flows_touched,
-                 r.alloc_seconds,
-                 static_cast<long long>(r.baseline.events), r.baseline.seconds,
-                 r.baseline.events_per_sec(), r.speedup(), r.max_rate_diff_bps,
-                 i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  write_bench_json("alloc_fastpath", reg);
 }
 
 int run(bool smoke) {
@@ -319,7 +314,6 @@ int run(bool smoke) {
     rates_ok = rates_ok && r.max_rate_diff_bps <= ScenarioResult::kRateTolBps;
   }
   write_json(results, smoke);
-  std::printf("wrote BENCH_alloc_fastpath.json\n");
   if (!rates_ok) {
     std::printf("RESULT: FAIL (incremental rates diverged from reference)\n");
     return 1;

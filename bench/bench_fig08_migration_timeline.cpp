@@ -29,6 +29,10 @@ int main() {
   orch_cfg.restart_duration = sim::seconds(20);
   core::Orchestrator orch(sim, network, cluster, orch_cfg);
   monitor::NetMonitor netmon(network);
+  obs::Recorder recorder;
+  network.set_recorder(&recorder);
+  orch.set_recorder(&recorder);
+  netmon.set_recorder(&recorder);
   orch.attach_monitor(&netmon);
   netmon.start();
 
@@ -105,5 +109,9 @@ int main() {
   std::printf("\nexpect: goodput collapses after t=540, recovers after the first\n"
               "migration (node4->node1), collapses again after t=1119 and recovers\n"
               "after migrating back (paper Fig. 8)\n");
+
+  // Probe costs, headroom violations, and migration downtimes accumulated
+  // by the live instrumentation, through the shared snapshot path.
+  bench::write_bench_json("fig08_migration_timeline", recorder.metrics(), sim.now());
   return 0;
 }

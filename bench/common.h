@@ -13,6 +13,7 @@
 #include "core/orchestrator.h"
 #include "monitor/net_monitor.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "trace/citylab.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -28,11 +29,30 @@ inline bool csv_enabled() {
 inline void print_header(const std::string& title) {
   if (std::getenv("BASS_BENCH_DEBUG") != nullptr) {
     util::set_log_level(util::LogLevel::kDebug);
-  } else {
-    // Keep harness output to the tables themselves.
+  } else if (std::getenv("BASS_LOG") == nullptr) {
+    // Keep harness output to the tables themselves — unless the user asked
+    // for a specific level via BASS_LOG (honored by the logger at startup).
     util::set_log_level(util::LogLevel::kError);
   }
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Writes BENCH_<name>.json through the metrics snapshot path: callers put
+// their results into an obs::MetricsRegistry (labels distinguish scenario
+// rows) and every bench emits the same self-describing schema — counters,
+// gauges, and histograms with name/labels/value — instead of hand-rolled
+// fprintf JSON per harness. A registry fed by a live obs::Recorder works
+// too; the bench's own summary numbers just go into the same registry.
+inline bool write_bench_json(const std::string& name,
+                             const obs::MetricsRegistry& registry,
+                             sim::Time now = 0) {
+  const std::string path = "BENCH_" + name + ".json";
+  if (!registry.write_json(path, now)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 // ---- Microbenchmark rig: N nodes on a full-mesh LAN (§6.2.1) ----

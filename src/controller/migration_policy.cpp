@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/recorder.h"
+
 namespace bass::controller {
 
 bool edge_violates(const EdgeObservation& obs, const MigrationParams& params) {
@@ -50,6 +52,7 @@ bool edge_violates(const EdgeObservation& obs, const MigrationParams& params) {
 std::vector<app::ComponentId> select_migration_candidates(
     const app::AppGraph& app, const std::vector<EdgeObservation>& observations,
     const MigrationParams& params) {
+  BASS_OBS_SCOPE("controller.select_candidates_us");
   // Collect violating components with the largest bandwidth requirement
   // seen on any of their violating edges (the sort key in Algorithm 3).
   std::unordered_map<app::ComponentId, net::Bps> worst_requirement;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <set>
 
 #include "sched/k3s_scheduler.h"
@@ -51,6 +52,19 @@ const Orchestrator::Deployment& Orchestrator::dep(DeploymentId id) const {
   return *deployments_.at(static_cast<std::size_t>(id));
 }
 
+void Orchestrator::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  if (recorder == nullptr) {
+    m_place_us_ = nullptr;
+    m_downtime_ms_ = nullptr;
+    return;
+  }
+  m_place_us_ = &recorder->metrics().timer_us("sched.place_us");
+  m_downtime_ms_ = &recorder->metrics().histogram(
+      "orchestrator.migration_downtime_ms",
+      {1, 10, 100, 1000, 5000, 10000, 20000, 30000, 60000, 120000});
+}
+
 std::unique_ptr<sched::NetworkView> Orchestrator::make_view() const {
   if (monitor_ != nullptr) {
     return std::make_unique<monitor::MonitorNetworkView>(*monitor_);
@@ -76,7 +90,25 @@ util::Expected<DeploymentId> Orchestrator::deploy(app::AppGraph app, SchedulerKi
       break;
   }
 
+  const auto t0 = std::chrono::steady_clock::now();
   auto result = scheduler->schedule(app, *cluster_, *view);
+  const double place_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  if (recorder_ != nullptr) {
+    m_place_us_->observe(place_us);
+    obs::ScheduleDecision decision;
+    decision.at = sim_->now();
+    decision.deployment = static_cast<int>(deployments_.size());
+    decision.scheduler = scheduler->name();
+    decision.components = app.component_count();
+    decision.place_us = place_us;
+    decision.success = result.ok();
+    if (result.ok()) {
+      decision.crossing_bps = sched::crossing_bandwidth(app, result.value());
+    }
+    recorder_->record(std::move(decision));
+  }
   if (!result.ok()) return util::make_error(result.error());
 
   auto d = std::make_unique<Deployment>();
@@ -130,6 +162,17 @@ util::Expected<DeploymentId> Orchestrator::deploy_with_placement(
   d->up.assign(static_cast<std::size_t>(d->app.component_count()), true);
   const DeploymentId id = static_cast<DeploymentId>(deployments_.size());
   deployments_.push_back(std::move(d));
+  if (recorder_ != nullptr) {
+    const Deployment& placed = *deployments_.back();
+    obs::ScheduleDecision decision;
+    decision.at = sim_->now();
+    decision.deployment = id;
+    decision.scheduler = "manual";
+    decision.components = placed.app.component_count();
+    decision.crossing_bps = sched::crossing_bandwidth(placed.app, placed.placement);
+    decision.success = true;
+    recorder_->record(std::move(decision));
+  }
   return id;
 }
 
@@ -329,7 +372,22 @@ void Orchestrator::controller_evaluate(DeploymentId id) {
 
   if (!violating.empty() || started > 0) {
     d.rounds.push_back({now, static_cast<int>(violating.size()), started});
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::ControllerRound{
+          now, id, static_cast<int>(violating.size()), started});
+    }
   }
+}
+
+void Orchestrator::note_migration_done(DeploymentId id, app::ComponentId component,
+                                       net::NodeId from, net::NodeId to,
+                                       sim::Time went_down) {
+  const sim::Time now = sim_->now();
+  migrations_.push_back({now, id, component, from, to});
+  if (recorder_ == nullptr) return;
+  const sim::Duration downtime = went_down >= 0 ? now - went_down : 0;
+  m_downtime_ms_->observe(sim::to_millis(downtime));
+  recorder_->record(obs::MigrationCompleted{now, id, component, from, to, downtime});
 }
 
 bool Orchestrator::migrate(DeploymentId id, app::ComponentId component,
@@ -384,15 +442,23 @@ void Orchestrator::fail_node(net::NodeId node, sim::Duration detection_delay) {
       ++dropped;
       // Recovery after detection + cold restart; retries internally while
       // the cluster is too full.
+      const sim::Time went_down = sim_->now();
+      if (recorder_ != nullptr) {
+        // Outage begins now; the landing node is unknown until recovery.
+        recorder_->record(
+            obs::MigrationStarted{went_down, id, c, node, net::kInvalidNode});
+      }
       sim_->schedule_after(detection_delay + config_.restart_duration,
-                           [this, id, c, node] { recover_component(id, c, node); });
+                           [this, id, c, node, went_down] {
+                             recover_component(id, c, node, went_down);
+                           });
     }
   }
   util::log_info() << "node" << node << " failed; " << dropped << " components dropped";
 }
 
 void Orchestrator::recover_component(DeploymentId id, app::ComponentId component,
-                                     net::NodeId failed_node) {
+                                     net::NodeId failed_node, sim::Time went_down) {
   Deployment& d = dep(id);
   const auto& comp = d.app.component(component);
   if (comp.pinned_node) {
@@ -406,13 +472,13 @@ void Orchestrator::recover_component(DeploymentId id, app::ComponentId component
   if (target && cluster_->allocate(*target, comp.cpu_milli, comp.memory_mb)) {
     d.placement[component] = *target;
     d.up[static_cast<std::size_t>(component)] = true;
-    migrations_.push_back({sim_->now(), id, component, failed_node, *target});
+    note_migration_done(id, component, failed_node, *target, went_down);
     for (DeploymentListener* l : d.listeners) l->on_component_up(component, *target);
     return;
   }
   util::log_warn() << "no surviving node for '" << comp.name << "'; retrying";
-  sim_->schedule_after(sim::seconds(30), [this, id, component, failed_node] {
-    recover_component(id, component, failed_node);
+  sim_->schedule_after(sim::seconds(30), [this, id, component, failed_node, went_down] {
+    recover_component(id, component, failed_node, went_down);
   });
 }
 
@@ -433,8 +499,12 @@ void Orchestrator::execute_move(DeploymentId id, app::ComponentId component,
   util::log_info() << "moving '" << comp.name << "' node" << from << " -> node"
                    << target << " (restart " << sim::to_seconds(config_.restart_duration)
                    << " s, state " << comp.state_mb << " MiB)";
+  const sim::Time went_down = sim_->now();
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::MigrationStarted{went_down, id, component, from, target});
+  }
 
-  auto bring_up = [this, id, component, from, target] {
+  auto bring_up = [this, id, component, from, target, went_down] {
     Deployment& d2 = dep(id);
     const auto& c2 = d2.app.component(component);
     net::NodeId final_target = target;
@@ -448,7 +518,7 @@ void Orchestrator::execute_move(DeploymentId id, app::ComponentId component,
     }
     d2.placement[component] = final_target;
     d2.up[static_cast<std::size_t>(component)] = true;
-    migrations_.push_back({sim_->now(), id, component, from, final_target});
+    note_migration_done(id, component, from, final_target, went_down);
     for (DeploymentListener* l : d2.listeners) {
       l->on_component_up(component, final_target);
     }

@@ -15,6 +15,7 @@
 #include "monitor/net_monitor.h"
 #include "monitor/traffic_stats.h"
 #include "net/network.h"
+#include "obs/recorder.h"
 #include "sched/bass_scheduler.h"
 #include "sched/placement.h"
 #include "sim/simulation.h"
@@ -73,6 +74,14 @@ class Orchestrator {
   // cache (the real BASS deployment); without one they fall back to live
   // topology capacities (useful for oracle experiments and tests).
   void attach_monitor(monitor::NetMonitor* monitor) { monitor_ = monitor; }
+
+  // Attaches the run's recorder: deploys journal ScheduleDecision (with
+  // wall-clock placement latency), moves journal MigrationStarted/
+  // MigrationCompleted (every entry in migration_events() has a matching
+  // completed event), controller rounds journal ControllerRound, and
+  // migration downtime / placement latency feed registry histograms.
+  // nullptr detaches.
+  void set_recorder(obs::Recorder* recorder);
 
   // ---- Deployment lifecycle ----
   util::Expected<DeploymentId> deploy(app::AppGraph app, SchedulerKind kind);
@@ -156,14 +165,21 @@ class Orchestrator {
   void controller_evaluate(DeploymentId id);
   // Executes a move; `target` may equal the current node (pure restart).
   void execute_move(DeploymentId id, app::ComponentId component, net::NodeId target);
-  // Post-failure placement retry loop (see fail_node).
+  // Post-failure placement retry loop (see fail_node). `went_down` is when
+  // the component dropped (journalled downtime spans the whole outage).
   void recover_component(DeploymentId id, app::ComponentId component,
-                         net::NodeId failed_node);
+                         net::NodeId failed_node, sim::Time went_down);
+  // Appends to migrations_ and journals the matching MigrationCompleted.
+  void note_migration_done(DeploymentId id, app::ComponentId component,
+                           net::NodeId from, net::NodeId to, sim::Time went_down);
 
   sim::Simulation* sim_;
   net::Network* network_;
   cluster::ClusterState* cluster_;
   monitor::NetMonitor* monitor_ = nullptr;
+  obs::Recorder* recorder_ = nullptr;
+  obs::Histogram* m_place_us_ = nullptr;
+  obs::Histogram* m_downtime_ms_ = nullptr;
   OrchestratorConfig config_;
   std::vector<std::unique_ptr<Deployment>> deployments_;
   std::vector<MigrationEvent> migrations_;

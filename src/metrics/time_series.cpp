@@ -70,7 +70,9 @@ bool TimeSeries::write_csv(const std::string& path, const std::string& value_nam
     w.row({util::str_format("%.3f", sim::to_seconds(s.at)),
            util::str_format("%.6f", s.value)});
   }
-  return true;
+  // Without the final flush check this returned true on a partially
+  // written file whenever the disk filled mid-run.
+  return w.finish();
 }
 
 }  // namespace bass::metrics

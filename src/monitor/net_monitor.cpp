@@ -58,6 +58,22 @@ void NetMonitor::stop() {
   }
 }
 
+void NetMonitor::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  if (recorder == nullptr) {
+    m_probe_bytes_ = nullptr;
+    m_full_probes_ = nullptr;
+    m_headroom_probes_ = nullptr;
+    m_violations_ = nullptr;
+    return;
+  }
+  auto& metrics = recorder->metrics();
+  m_probe_bytes_ = &metrics.counter("monitor.probe_bytes");
+  m_full_probes_ = &metrics.counter("monitor.probes", {{"kind", "full"}});
+  m_headroom_probes_ = &metrics.counter("monitor.probes", {{"kind", "headroom"}});
+  m_violations_ = &metrics.counter("monitor.headroom_violations");
+}
+
 net::Bps NetMonitor::cached_capacity(net::LinkId link) const {
   return links_.at(static_cast<std::size_t>(link)).cached_capacity;
 }
@@ -129,6 +145,13 @@ void NetMonitor::launch_probe(net::LinkId link, net::Bps demand, bool is_full,
         const net::Bps measured = static_cast<net::Bps>(
             static_cast<double>(delivered) * 8e6 /
             static_cast<double>(config_.probe_duration));
+        if (recorder_ != nullptr) {
+          m_probe_bytes_->add(delivered);
+          (is_full ? m_full_probes_ : m_headroom_probes_)->inc();
+          recorder_->record(obs::ProbeCompleted{network_->simulation().now(),
+                                                link, is_full, demand, measured,
+                                                delivered});
+        }
 
         LinkState& state = links_[static_cast<std::size_t>(link)];
         state.probing = false;
@@ -157,6 +180,11 @@ void NetMonitor::launch_probe(net::LinkId link, net::Bps demand, bool is_full,
           if (!ok) {
             util::log_debug() << "headroom violation on link " << link
                               << " delivered " << measured << " of " << demand;
+            if (recorder_ != nullptr) {
+              m_violations_->inc();
+              recorder_->record(obs::HeadroomViolation{
+                  network_->simulation().now(), link, measured});
+            }
             if (on_violation_) on_violation_(link, measured);
             if (config_.full_probe_on_violation) full_probe(link);
           }

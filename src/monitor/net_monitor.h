@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/recorder.h"
 #include "sched/network_view.h"
 #include "sim/simulation.h"
 
@@ -74,6 +75,12 @@ class NetMonitor {
   using ViolationCallback = std::function<void(net::LinkId, net::Bps)>;
   void set_violation_callback(ViolationCallback cb) { on_violation_ = std::move(cb); }
 
+  // Attaches the run's recorder: probes journal ProbeCompleted, shortfalls
+  // journal HeadroomViolation, and probe costs are mirrored into the
+  // registry (monitor.probe_bytes, monitor.probes{kind=...}). nullptr
+  // detaches.
+  void set_recorder(obs::Recorder* recorder);
+
   // ---- On-demand probing ----
   // Floods the link now; `done` receives the new capacity estimate.
   void full_probe(net::LinkId link, std::function<void(net::Bps)> done = {});
@@ -101,6 +108,11 @@ class NetMonitor {
   MonitorConfig config_;
   std::vector<LinkState> links_;
   ViolationCallback on_violation_;
+  obs::Recorder* recorder_ = nullptr;
+  obs::Counter* m_probe_bytes_ = nullptr;
+  obs::Counter* m_full_probes_ = nullptr;
+  obs::Counter* m_headroom_probes_ = nullptr;
+  obs::Counter* m_violations_ = nullptr;
   sim::EventId periodic_ = sim::kInvalidEvent;
   sim::EventId refresh_ = sim::kInvalidEvent;
   bool started_ = false;

@@ -7,6 +7,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/recorder.h"
+
 namespace bass::net {
 
 void MaxMinSolver::ensure_links(std::size_t nl) {
@@ -20,6 +22,7 @@ void MaxMinSolver::ensure_links(std::size_t nl) {
 const std::vector<double>& MaxMinSolver::solve(
     const std::vector<double>& capacities,
     const std::vector<AllocEntityRef>& entities) {
+  BASS_OBS_SCOPE("net.maxmin.solve_us");
   const std::size_t nf = entities.size();
   rates_.assign(nf, 0.0);
   frozen_.assign(nf, 0);

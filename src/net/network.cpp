@@ -49,8 +49,31 @@ Network::BatchUpdate::~BatchUpdate() {
   }
 }
 
+void Network::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  if (recorder == nullptr) {
+    m_reallocations_ = nullptr;
+    m_full_reallocations_ = nullptr;
+    m_flows_touched_ = nullptr;
+    m_links_touched_ = nullptr;
+    m_alloc_pass_us_ = nullptr;
+    return;
+  }
+  auto& metrics = recorder->metrics();
+  m_reallocations_ = &metrics.counter("net.reallocations");
+  m_full_reallocations_ = &metrics.counter("net.full_reallocations");
+  m_flows_touched_ = &metrics.counter("net.flows_touched");
+  m_links_touched_ = &metrics.counter("net.links_touched");
+  m_alloc_pass_us_ = &metrics.timer_us("net.alloc_pass_us");
+}
+
 void Network::set_link_capacity(LinkId link, Bps capacity) {
   if (topology_.link(link).capacity == capacity) return;
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::LinkCapacityChanged{
+        sim_->now(), link, topology_.link(link).capacity,
+        std::max<Bps>(capacity, 0)});
+  }
   // No settling here: flows whose rate the change can affect are settled at
   // their pre-change rates inside reallocate(), which runs at this same
   // instant (or at batch close, still within the same event).
@@ -479,8 +502,20 @@ void Network::reallocate() {
     }
   }
 
-  alloc_stats_.alloc_seconds +=
+  const double pass_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  alloc_stats_.alloc_seconds += pass_seconds;
+
+  if (recorder_ != nullptr) {
+    m_reallocations_->inc();
+    m_flows_touched_->add(touched);
+    m_links_touched_->add(static_cast<std::int64_t>(comp_links_.size()));
+    const bool full = touched == active_entity_count_ && touched > 0;
+    if (full) m_full_reallocations_->inc();
+    m_alloc_pass_us_->observe(pass_seconds * 1e6);
+    recorder_->record(obs::ReallocationSolved{
+        sim_->now(), touched, static_cast<std::int64_t>(comp_links_.size()), full});
+  }
 }
 
 void Network::schedule_head_event(std::int64_t key) {

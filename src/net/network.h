@@ -31,6 +31,7 @@
 #include "net/routing.h"
 #include "net/topology.h"
 #include "net/types.h"
+#include "obs/recorder.h"
 #include "sim/simulation.h"
 
 namespace bass::net {
@@ -126,6 +127,14 @@ class Network {
   Bps stream_rate(StreamId id) const;
 
   // ---- Observability ----
+  // Attaches the run's recorder: every allocator pass journals a
+  // ReallocationSolved event, capacity changes journal LinkCapacityChanged,
+  // and the AllocStats counters are mirrored into the metrics registry
+  // (net.reallocations, net.flows_touched, ..., net.alloc_pass_us).
+  // Instrument handles are resolved once here, so the hot path only pays
+  // pointer increments. Pass nullptr to detach.
+  void set_recorder(obs::Recorder* recorder);
+
   // Bottleneck *raw* capacity along the routed path (ignores contention).
   Bps path_capacity(NodeId src, NodeId dst) const;
   // Rate a hypothetical new unbounded flow would receive on the path right
@@ -259,6 +268,14 @@ class Network {
   std::vector<double> link_allocated_;
   std::unordered_map<Tag, double> tag_bytes_window_;
   std::unordered_map<Tag, double> tag_bytes_total_;
+
+  // Observability (all null until set_recorder; see emit sites).
+  obs::Recorder* recorder_ = nullptr;
+  obs::Counter* m_reallocations_ = nullptr;
+  obs::Counter* m_full_reallocations_ = nullptr;
+  obs::Counter* m_flows_touched_ = nullptr;
+  obs::Counter* m_links_touched_ = nullptr;
+  obs::Histogram* m_alloc_pass_us_ = nullptr;
 
   TransferId next_transfer_ = 1;
   StreamId next_stream_ = 1;

@@ -1,0 +1,117 @@
+#include "obs/events.h"
+
+#include "util/strings.h"
+
+namespace bass::obs {
+
+namespace {
+
+// Minimal JSON string escaping — event strings are scheduler names and the
+// like, but a scenario could name things creatively.
+void append_escaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+struct TimeVisitor {
+  template <typename T>
+  sim::Time operator()(const T& e) const { return e.at; }
+};
+
+struct NameVisitor {
+  const char* operator()(const ScheduleDecision&) const { return "schedule_decision"; }
+  const char* operator()(const ProbeCompleted&) const { return "probe_completed"; }
+  const char* operator()(const HeadroomViolation&) const { return "headroom_violation"; }
+  const char* operator()(const MigrationStarted&) const { return "migration_started"; }
+  const char* operator()(const MigrationCompleted&) const { return "migration_completed"; }
+  const char* operator()(const ControllerRound&) const { return "controller_round"; }
+  const char* operator()(const ReallocationSolved&) const { return "reallocation_solved"; }
+  const char* operator()(const LinkCapacityChanged&) const { return "link_capacity_changed"; }
+};
+
+struct JsonVisitor {
+  std::string& out;
+
+  void operator()(const ScheduleDecision& e) const {
+    out += util::str_format(",\"deployment\":%d,\"scheduler\":", e.deployment);
+    append_escaped(e.scheduler, out);
+    out += util::str_format(
+        ",\"components\":%d,\"crossing_bps\":%lld,\"place_us\":%.3f,"
+        "\"success\":%s",
+        e.components, static_cast<long long>(e.crossing_bps), e.place_us,
+        e.success ? "true" : "false");
+  }
+  void operator()(const ProbeCompleted& e) const {
+    out += util::str_format(
+        ",\"link\":%d,\"full\":%s,\"offered_bps\":%lld,\"measured_bps\":%lld,"
+        "\"bytes\":%lld",
+        e.link, e.full ? "true" : "false", static_cast<long long>(e.offered_bps),
+        static_cast<long long>(e.measured_bps), static_cast<long long>(e.bytes));
+  }
+  void operator()(const HeadroomViolation& e) const {
+    out += util::str_format(",\"link\":%d,\"delivered_bps\":%lld", e.link,
+                            static_cast<long long>(e.delivered_bps));
+  }
+  void operator()(const MigrationStarted& e) const {
+    out += util::str_format(
+        ",\"deployment\":%d,\"component\":%d,\"from\":%d,\"to\":%d",
+        e.deployment, e.component, e.from, e.to);
+  }
+  void operator()(const MigrationCompleted& e) const {
+    out += util::str_format(
+        ",\"deployment\":%d,\"component\":%d,\"from\":%d,\"to\":%d,"
+        "\"downtime_us\":%lld",
+        e.deployment, e.component, e.from, e.to,
+        static_cast<long long>(e.downtime));
+  }
+  void operator()(const ControllerRound& e) const {
+    out += util::str_format(
+        ",\"deployment\":%d,\"violating\":%d,\"migrations_started\":%d",
+        e.deployment, e.violating, e.migrations_started);
+  }
+  void operator()(const ReallocationSolved& e) const {
+    out += util::str_format(",\"flows\":%lld,\"links\":%lld,\"full\":%s",
+                            static_cast<long long>(e.flows),
+                            static_cast<long long>(e.links),
+                            e.full ? "true" : "false");
+  }
+  void operator()(const LinkCapacityChanged& e) const {
+    out += util::str_format(",\"link\":%d,\"old_bps\":%lld,\"new_bps\":%lld",
+                            e.link, static_cast<long long>(e.old_bps),
+                            static_cast<long long>(e.new_bps));
+  }
+};
+
+}  // namespace
+
+sim::Time event_time(const Event& event) {
+  return std::visit(TimeVisitor{}, event);
+}
+
+const char* event_type_name(const Event& event) {
+  return std::visit(NameVisitor{}, event);
+}
+
+void append_jsonl(const Event& event, std::string& out) {
+  out += util::str_format("{\"t_us\":%lld,\"type\":\"%s\"",
+                          static_cast<long long>(event_time(event)),
+                          event_type_name(event));
+  std::visit(JsonVisitor{out}, event);
+  out += '}';
+}
+
+}  // namespace bass::obs

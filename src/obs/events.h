@@ -1,0 +1,111 @@
+// The event taxonomy of the observability layer: every decision the
+// orchestration stack takes — and every measurement that fed it — becomes
+// one typed record carrying its sim-time timestamp and the entity ids
+// involved. The journal stores these verbatim; exporters render them as
+// JSON Lines (one flat object per line) or as Chrome/Perfetto trace_event
+// entries, so a run can be grepped *and* scrubbed visually.
+//
+// Naming convention: events are past-tense facts ("MigrationCompleted"),
+// never intentions. A new event type needs (1) a struct here, (2) a case in
+// event_time/event_type_name/append_jsonl, and (3) a mapping in the trace
+// exporter (journal.cpp) — the compiler's std::visit exhaustiveness check
+// enforces the last two.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace bass::obs {
+
+// A scheduler produced (or failed to produce) a placement for a deployment.
+struct ScheduleDecision {
+  sim::Time at = 0;
+  int deployment = -1;
+  std::string scheduler;        // e.g. "bass-auto", "k3s-default"
+  int components = 0;           // size of the app DAG placed
+  net::Bps crossing_bps = 0;    // mesh-crossing bandwidth of the placement
+  double place_us = 0.0;        // wall-clock placement latency
+  bool success = false;
+};
+
+// A net-monitor probe (full flood or headroom) finished on a directed link.
+struct ProbeCompleted {
+  sim::Time at = 0;
+  net::LinkId link = net::kInvalidLink;
+  bool full = false;            // true: max-capacity flood; false: headroom
+  net::Bps offered_bps = 0;     // probe demand
+  net::Bps measured_bps = 0;    // delivered goodput
+  std::int64_t bytes = 0;       // probe bytes that crossed the mesh
+};
+
+// A headroom probe came up short — the §4.2 trigger for the controller.
+struct HeadroomViolation {
+  sim::Time at = 0;
+  net::LinkId link = net::kInvalidLink;
+  net::Bps delivered_bps = 0;
+};
+
+// A component went down for a move (restart outage begins).
+struct MigrationStarted {
+  sim::Time at = 0;
+  int deployment = -1;
+  int component = -1;
+  net::NodeId from = net::kInvalidNode;
+  net::NodeId to = net::kInvalidNode;  // requested target (may be revised)
+};
+
+// The moved component came back up. `downtime` spans the whole outage
+// (state transfer + restart), so the trace exporter can draw the move as a
+// duration slice [at - downtime, at].
+struct MigrationCompleted {
+  sim::Time at = 0;
+  int deployment = -1;
+  int component = -1;
+  net::NodeId from = net::kInvalidNode;
+  net::NodeId to = net::kInvalidNode;  // where it actually landed
+  sim::Duration downtime = 0;          // 0 when the outage start is unknown
+};
+
+// One bandwidth-controller evaluation round that found work (Table 1 rows).
+struct ControllerRound {
+  sim::Time at = 0;
+  int deployment = -1;
+  int violating = 0;            // components exceeding their quota
+  int migrations_started = 0;
+};
+
+// The flow allocator repriced a contention component.
+struct ReallocationSolved {
+  sim::Time at = 0;
+  std::int64_t flows = 0;       // entities repriced this pass
+  std::int64_t links = 0;       // links in the component
+  bool full = false;            // component covered every active entity
+};
+
+// A link's raw capacity changed (trace tick, tc reshape, experiment).
+struct LinkCapacityChanged {
+  sim::Time at = 0;
+  net::LinkId link = net::kInvalidLink;
+  net::Bps old_bps = 0;
+  net::Bps new_bps = 0;
+};
+
+using Event = std::variant<ScheduleDecision, ProbeCompleted, HeadroomViolation,
+                           MigrationStarted, MigrationCompleted, ControllerRound,
+                           ReallocationSolved, LinkCapacityChanged>;
+
+// Sim-time timestamp of any event.
+sim::Time event_time(const Event& event);
+
+// Stable snake_case tag used in exports and `bassctl events --type` filters.
+const char* event_type_name(const Event& event);
+
+// Appends the event as one flat JSON object line (no trailing newline).
+// Every line carries "t_us" and "type"; remaining keys are per-type.
+void append_jsonl(const Event& event, std::string& out);
+
+}  // namespace bass::obs

@@ -1,0 +1,225 @@
+#include "obs/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace bass::obs {
+
+namespace {
+
+// Perfetto track (tid) per emitting subsystem, so decisions, probes, and
+// allocator activity land on separate swim-lanes.
+constexpr int kPid = 1;
+constexpr int kTidScheduler = 1;
+constexpr int kTidController = 2;
+constexpr int kTidMonitor = 3;
+constexpr int kTidNetwork = 4;
+
+struct TraceShape {
+  int tid = kTidNetwork;
+  sim::Time ts = 0;        // slice start (== event time for instants)
+  sim::Duration dur = -1;  // >= 0 => complete ("X") event, else instant
+  std::string name;
+};
+
+struct TraceVisitor {
+  TraceShape operator()(const ScheduleDecision& e) const {
+    return {kTidScheduler, e.at, -1,
+            util::str_format("schedule %s%s", e.scheduler.c_str(),
+                             e.success ? "" : " FAILED")};
+  }
+  TraceShape operator()(const ProbeCompleted& e) const {
+    return {kTidMonitor, e.at, -1,
+            util::str_format("%s probe link%d", e.full ? "full" : "headroom",
+                             e.link)};
+  }
+  TraceShape operator()(const HeadroomViolation& e) const {
+    return {kTidMonitor, e.at, -1,
+            util::str_format("headroom violation link%d", e.link)};
+  }
+  TraceShape operator()(const MigrationStarted& e) const {
+    return {kTidController, e.at, -1,
+            util::str_format("migration start c%d n%d->n%d", e.component,
+                             e.from, e.to)};
+  }
+  TraceShape operator()(const MigrationCompleted& e) const {
+    // Downtime renders as a slice covering the whole outage.
+    return {kTidController, e.at - std::max<sim::Duration>(e.downtime, 0),
+            std::max<sim::Duration>(e.downtime, 0),
+            util::str_format("migrate c%d n%d->n%d", e.component, e.from, e.to)};
+  }
+  TraceShape operator()(const ControllerRound& e) const {
+    return {kTidController, e.at, -1,
+            util::str_format("controller round (%d violating)", e.violating)};
+  }
+  TraceShape operator()(const ReallocationSolved& e) const {
+    return {kTidNetwork, e.at, -1,
+            util::str_format("realloc %lld flows", static_cast<long long>(e.flows))};
+  }
+  TraceShape operator()(const LinkCapacityChanged& e) const {
+    return {kTidNetwork, e.at, -1, util::str_format("capacity link%d", e.link)};
+  }
+};
+
+void append_escaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_trace_entry(const Event& event, bool first, std::string& out) {
+  const TraceShape shape = std::visit(TraceVisitor{}, event);
+  if (!first) out += ",\n";
+  out += "    {\"name\":";
+  append_escaped(shape.name, out);
+  out += util::str_format(",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%lld",
+                          event_type_name(event), kPid, shape.tid,
+                          static_cast<long long>(shape.ts));
+  if (shape.dur >= 0) {
+    out += util::str_format(",\"ph\":\"X\",\"dur\":%lld",
+                            static_cast<long long>(shape.dur));
+  } else {
+    out += ",\"ph\":\"i\",\"s\":\"t\"";
+  }
+  // The full typed record rides along as args, so Perfetto's detail pane
+  // shows exactly what the JSONL export would.
+  out += ",\"args\":{\"event\":";
+  append_jsonl(event, out);
+  out += "}}";
+}
+
+bool write_string(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(content.data(), 1, content.size(), f) ==
+                     content.size();
+  // Flush before the error check: a full disk often only surfaces here.
+  const bool flushed = std::fflush(f) == 0 && std::ferror(f) == 0;
+  return (std::fclose(f) == 0) && wrote && flushed;
+}
+
+}  // namespace
+
+EventJournal::EventJournal(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void EventJournal::record(Event event) {
+  if (size_ < ring_.size()) {
+    ring_[(head_ + size_) % ring_.size()] = std::move(event);
+    ++size_;
+  } else {
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+  }
+}
+
+void EventJournal::for_each(const std::function<void(const Event&)>& fn) const {
+  for (std::size_t i = 0; i < size_; ++i) {
+    fn(ring_[(head_ + i) % ring_.size()]);
+  }
+}
+
+std::vector<Event> EventJournal::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  for_each([&out](const Event& e) { out.push_back(e); });
+  return out;
+}
+
+std::string EventJournal::to_jsonl() const {
+  std::string out;
+  for_each([&out](const Event& e) {
+    append_jsonl(e, out);
+    out += '\n';
+  });
+  return out;
+}
+
+bool EventJournal::write_jsonl(const std::string& path) const {
+  return write_string(path, to_jsonl());
+}
+
+std::string EventJournal::to_trace() const {
+  std::string out = "{\"traceEvents\":[\n";
+  // Track labels.
+  const std::pair<int, const char*> tracks[] = {
+      {kTidScheduler, "scheduler"},
+      {kTidController, "controller"},
+      {kTidMonitor, "net-monitor"},
+      {kTidNetwork, "network"},
+  };
+  out += util::str_format(
+      "    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+      "\"args\":{\"name\":\"bass\"}}",
+      kPid);
+  for (const auto& [tid, name] : tracks) {
+    out += util::str_format(
+        ",\n    {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        kPid, tid, name);
+  }
+  for_each([&out](const Event& e) { append_trace_entry(e, /*first=*/false, out); });
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool EventJournal::write_trace(const std::string& path) const {
+  return write_string(path, to_trace());
+}
+
+bool parse_journal_line(const std::string& line,
+                        std::vector<std::pair<std::string, std::string>>& fields) {
+  fields.clear();
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  auto skip_ws = [&] { while (i < n && (line[i] == ' ' || line[i] == '\t')) ++i; };
+  skip_ws();
+  if (i >= n || line[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < n && line[i] == '}') return true;  // empty object
+  while (i < n) {
+    skip_ws();
+    if (i >= n || line[i] != '"') return false;
+    const std::size_t key_start = ++i;
+    while (i < n && line[i] != '"') ++i;
+    if (i >= n) return false;
+    std::string key = line.substr(key_start, i - key_start);
+    ++i;
+    skip_ws();
+    if (i >= n || line[i] != ':') return false;
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < n && line[i] == '"') {
+      const std::size_t val_start = i++;
+      while (i < n && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i >= n) return false;
+      ++i;
+      value = line.substr(val_start, i - val_start);
+    } else {
+      const std::size_t val_start = i;
+      while (i < n && line[i] != ',' && line[i] != '}') ++i;
+      value = util::trim(line.substr(val_start, i - val_start));
+      if (value.empty()) return false;
+    }
+    fields.emplace_back(std::move(key), std::move(value));
+    skip_ws();
+    if (i >= n) return false;
+    if (line[i] == '}') return true;
+    if (line[i] != ',') return false;
+    ++i;
+  }
+  return false;
+}
+
+}  // namespace bass::obs

@@ -1,0 +1,68 @@
+// Structured event journal: a bounded ring of typed events. Recording is a
+// move into a preallocated slot — no I/O, no allocation beyond the strings
+// an event already owns — so subsystems can journal from hot paths. When
+// the ring fills, the oldest events are overwritten and counted as dropped
+// (an operator tailing a long run wants the recent window, not an OOM).
+//
+// Exports:
+//  * JSON Lines — one flat object per event; `bassctl events` and the CI
+//    schema check consume this.
+//  * Chrome trace_event JSON — loadable in Perfetto/chrome://tracing.
+//    Migrations render as duration slices on a per-subsystem track, other
+//    events as instants, so a run can be scrubbed visually (Fig. 8 style).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+
+namespace bass::obs {
+
+class EventJournal {
+ public:
+  // Capacity is clamped to >= 1.
+  explicit EventJournal(std::size_t capacity = 1 << 16);
+
+  void record(Event event);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  bool empty() const { return size_ == 0; }
+  // Events overwritten because the ring was full.
+  std::int64_t dropped() const { return dropped_; }
+
+  // Visits retained events oldest-first.
+  void for_each(const std::function<void(const Event&)>& fn) const;
+
+  // Retained events oldest-first (copies; prefer for_each on large rings).
+  std::vector<Event> snapshot() const;
+
+  // Serializes retained events as JSON Lines. write_* return false on any
+  // I/O error (including a failed final flush).
+  std::string to_jsonl() const;
+  bool write_jsonl(const std::string& path) const;
+
+  // Chrome trace_event format: {"traceEvents":[...]}, ts in microseconds
+  // of sim time, one tid per subsystem (scheduler/controller/monitor/
+  // network) with thread_name metadata so Perfetto labels the tracks.
+  std::string to_trace() const;
+  bool write_trace(const std::string& path) const;
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // index of the oldest retained event
+  std::size_t size_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+// Parses one journal JSONL line into (key, raw-value) pairs; values keep
+// their JSON spelling (strings keep quotes). Returns false on a line that
+// is not a flat JSON object. Only handles the flat objects the journal
+// emits — this is a reader for our own format, not a JSON library.
+bool parse_journal_line(const std::string& line,
+                        std::vector<std::pair<std::string, std::string>>& fields);
+
+}  // namespace bass::obs

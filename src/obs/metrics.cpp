@@ -1,0 +1,208 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace bass::obs {
+
+namespace {
+
+std::string instrument_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';  // unit separator: cannot appear in sane label text
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+void append_escaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_name_labels(const std::string& name, const Labels& labels,
+                        std::string& out) {
+  out += "\"name\":";
+  append_escaped(name, out);
+  out += ",\"labels\":{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    append_escaped(labels[i].first, out);
+    out += ':';
+    append_escaped(labels[i].second, out);
+  }
+  out += '}';
+}
+
+// %g keeps integers unadorned and large/small values readable.
+void append_double(double v, std::string& out) {
+  out += util::str_format("%.9g", v);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+  buckets_.assign(boundaries_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - boundaries_.begin())];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+const std::vector<double>& default_time_boundaries_us() {
+  static const std::vector<double> kBoundaries = {
+      1,    2,    5,    10,    20,    50,    100,    200,    500,
+      1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000,
+      1000000};
+  return kBoundaries;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::find_or_create(
+    const std::string& name, const Labels& labels, Kind kind,
+    std::vector<double>* boundaries) {
+  const std::string key = instrument_key(name, labels);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Instrument& inst = *order_[it->second];
+    assert(inst.kind == kind && "metric registered twice with different kinds");
+    if (inst.kind != kind) {
+      // Release-build fallback: a detached scratch instrument keeps the
+      // caller functional without corrupting the registered one.
+      static thread_local std::unique_ptr<Instrument> scratch;
+      scratch = std::make_unique<Instrument>();
+      scratch->name = name;
+      scratch->kind = kind;
+      scratch->counter = std::make_unique<Counter>();
+      scratch->gauge = std::make_unique<Gauge>();
+      scratch->histogram = std::make_unique<Histogram>(
+          boundaries ? *boundaries : default_time_boundaries_us());
+      return *scratch;
+    }
+    return inst;
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->name = name;
+  inst->labels = labels;
+  inst->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: inst->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: inst->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      inst->histogram = std::make_unique<Histogram>(
+          boundaries ? std::move(*boundaries) : default_time_boundaries_us());
+      break;
+  }
+  index_.emplace(key, order_.size());
+  order_.push_back(std::move(inst));
+  return *order_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> boundaries,
+                                      const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kHistogram, &boundaries).histogram;
+}
+
+Histogram& MetricsRegistry::timer_us(const std::string& name, const Labels& labels) {
+  return histogram(name, default_time_boundaries_us(), labels);
+}
+
+std::string MetricsRegistry::to_json(sim::Time now) const {
+  std::string counters, gauges, histograms;
+  for (const auto& inst : order_) {
+    switch (inst->kind) {
+      case Kind::kCounter: {
+        if (!counters.empty()) counters += ",\n";
+        counters += "    {";
+        append_name_labels(inst->name, inst->labels, counters);
+        counters += util::str_format(",\"value\":%lld}",
+                                     static_cast<long long>(inst->counter->value()));
+        break;
+      }
+      case Kind::kGauge: {
+        if (!gauges.empty()) gauges += ",\n";
+        gauges += "    {";
+        append_name_labels(inst->name, inst->labels, gauges);
+        gauges += ",\"value\":";
+        append_double(inst->gauge->value(), gauges);
+        gauges += '}';
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& h = *inst->histogram;
+        if (!histograms.empty()) histograms += ",\n";
+        histograms += "    {";
+        append_name_labels(inst->name, inst->labels, histograms);
+        histograms += util::str_format(",\"count\":%lld,\"sum\":",
+                                       static_cast<long long>(h.count()));
+        append_double(h.sum(), histograms);
+        histograms += ",\"min\":";
+        append_double(h.min(), histograms);
+        histograms += ",\"max\":";
+        append_double(h.max(), histograms);
+        histograms += ",\"boundaries\":[";
+        for (std::size_t i = 0; i < h.boundaries().size(); ++i) {
+          if (i != 0) histograms += ',';
+          append_double(h.boundaries()[i], histograms);
+        }
+        histograms += "],\"buckets\":[";
+        for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+          if (i != 0) histograms += ',';
+          histograms += util::str_format(
+              "%lld", static_cast<long long>(h.bucket_counts()[i]));
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  std::string out = util::str_format("{\n  \"t_us\":%lld,\n",
+                                     static_cast<long long>(now));
+  out += "  \"counters\":[\n" + counters + "\n  ],\n";
+  out += "  \"gauges\":[\n" + gauges + "\n  ],\n";
+  out += "  \"histograms\":[\n" + histograms + "\n  ]\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path, sim::Time now) const {
+  const std::string content = to_json(now);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool flushed = std::fflush(f) == 0 && std::ferror(f) == 0;
+  return (std::fclose(f) == 0) && wrote && flushed;
+}
+
+}  // namespace bass::obs

@@ -1,0 +1,125 @@
+// Metrics registry: named counters, gauges, and fixed-boundary histograms
+// with label support, snapshotable to JSON at any sim time.
+//
+// Lookup (`counter("net.reallocations")`) hashes the name+labels; emitters
+// on hot paths do the lookup once and keep the returned reference —
+// instrument handles are stable for the registry's lifetime (the registry
+// stores instruments behind unique_ptr). Updates through a handle are a
+// single add/store.
+//
+// Naming conventions (DESIGN.md §6): dot-separated `<subsystem>.<what>`
+// with a unit suffix where one applies (`_us`, `_ms`, `_bytes`, `_bps`).
+// Labels distinguish instances of the same metric (e.g. probe kind), not
+// subsystems — those belong in the name.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bass::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void add(std::int64_t delta) { value_ += delta; }
+  void inc() { ++value_; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-boundary histogram: observation x lands in the first bucket with
+// x <= boundary, else in the implicit +Inf overflow bucket. Cumulative
+// counts, sum, min, and max are kept so snapshots can report both the
+// distribution and the extremes.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> boundaries);
+
+  void observe(double value);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  // bucket_counts()[i] observations fell in (boundaries[i-1], boundaries[i]];
+  // the final entry is the +Inf overflow bucket.
+  const std::vector<std::int64_t>& bucket_counts() const { return buckets_; }
+
+ private:
+  std::vector<double> boundaries_;        // ascending
+  std::vector<std::int64_t> buckets_;     // boundaries_.size() + 1 (overflow)
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Default boundaries for wall-clock timer histograms, in microseconds:
+// 1 us .. 1 s in a 1-2-5 ladder. Matches the repo's hot-path scale — a
+// component solve is microseconds, a full scheduler pass is milliseconds.
+const std::vector<double>& default_time_boundaries_us();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. A name+labels pair must keep one instrument kind for
+  // the registry's lifetime; a kind clash trips an assert in debug builds
+  // and returns a detached scratch instrument in release builds.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, std::vector<double> boundaries,
+                       const Labels& labels = {});
+  // Timer histogram with the default microsecond ladder.
+  Histogram& timer_us(const std::string& name, const Labels& labels = {});
+
+  std::size_t instrument_count() const { return order_.size(); }
+
+  // JSON snapshot: {"t_us":..., "counters":[...], "gauges":[...],
+  // "histograms":[...]}, instruments in registration order.
+  std::string to_json(sim::Time now) const;
+  bool write_json(const std::string& path, sim::Time now) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    std::string name;
+    Labels labels;
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument& find_or_create(const std::string& name, const Labels& labels,
+                             Kind kind, std::vector<double>* boundaries);
+
+  std::unordered_map<std::string, std::size_t> index_;  // key -> order_ slot
+  std::vector<std::unique_ptr<Instrument>> order_;
+};
+
+}  // namespace bass::obs

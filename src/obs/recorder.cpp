@@ -1,0 +1,37 @@
+#include "obs/recorder.h"
+
+namespace bass::obs {
+
+namespace {
+
+Recorder* g_recorder = nullptr;
+
+}  // namespace
+
+Recorder::Recorder(RecorderConfig config)
+    : enabled_(config.enabled), journal_(config.journal_capacity) {
+  // One counter per variant alternative, so record() indexes instead of
+  // hashing. Instantiate each alternative to name its counter.
+  const Event samples[] = {
+      ScheduleDecision{}, ProbeCompleted{},     HeadroomViolation{},
+      MigrationStarted{}, MigrationCompleted{}, ControllerRound{},
+      ReallocationSolved{}, LinkCapacityChanged{},
+  };
+  type_counters_.resize(std::variant_size_v<Event>, nullptr);
+  for (const Event& e : samples) {
+    type_counters_[e.index()] =
+        &metrics_.counter(std::string("events.") + event_type_name(e));
+  }
+}
+
+void Recorder::record(Event event) {
+  if (!enabled_) return;
+  type_counters_[event.index()]->inc();
+  journal_.record(std::move(event));
+}
+
+Recorder* global_recorder() { return g_recorder; }
+
+void set_global_recorder(Recorder* recorder) { g_recorder = recorder; }
+
+}  // namespace bass::obs

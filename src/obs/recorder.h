@@ -1,0 +1,96 @@
+// The single handle every subsystem emits through: one Recorder owns the
+// event journal and the metrics registry, and is handed down from the
+// scenario runner (or a test/bench harness) via each subsystem's
+// set_recorder(). Everything tolerates a null recorder — instrumentation
+// is pay-for-what-you-use: with no recorder attached, an emit site costs
+// one pointer compare and a profiling scope costs one branch (no clock
+// read, no allocation).
+//
+// Pure kernels (the max-min solver, the packers, the migration policy)
+// have no recorder parameter by design; their profiling scopes reach the
+// process-wide recorder installed with set_global_recorder(). Harnesses
+// that want kernel timings install theirs explicitly; library code never
+// installs one.
+#pragma once
+
+#include <chrono>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace bass::obs {
+
+struct RecorderConfig {
+  std::size_t journal_capacity = 1 << 16;
+  // Master switch: a disabled recorder drops events/timings at the emit
+  // site (subsystems check enabled() once per emit).
+  bool enabled = true;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(RecorderConfig config = {});
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // Journals the event and bumps the per-type "events.<type>" counter.
+  void record(Event event);
+
+  EventJournal& journal() { return journal_; }
+  const EventJournal& journal() const { return journal_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  bool enabled_ = true;
+  EventJournal journal_;
+  MetricsRegistry metrics_;
+  // Per-type event counters, indexed by variant alternative — cached so
+  // record() on hot paths never hashes a metric name.
+  std::vector<Counter*> type_counters_;
+};
+
+// Process-wide recorder for profiling scopes inside pure kernels. Null by
+// default; owned by whoever installed it.
+Recorder* global_recorder();
+void set_global_recorder(Recorder* recorder);
+
+// RAII wall-clock timer feeding a registry timer histogram ("<name>", unit
+// microseconds). The clock is only read when a live, enabled recorder is
+// present at construction.
+class ScopedTimer {
+ public:
+  ScopedTimer(Recorder* recorder, const char* name)
+      : recorder_(recorder != nullptr && recorder->enabled() ? recorder : nullptr),
+        name_(name) {
+    if (recorder_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (recorder_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    recorder_->metrics().timer_us(name_).observe(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+ private:
+  Recorder* recorder_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bass::obs
+
+// Profiling scope against the global recorder, for pure kernels that take
+// no Recorder. Compiles to nothing with -DBASS_OBS_NO_PROFILING (perf
+// builds that refuse even the null-check branch).
+#ifdef BASS_OBS_NO_PROFILING
+#define BASS_OBS_SCOPE(name)
+#else
+#define BASS_OBS_SCOPE(name) \
+  ::bass::obs::ScopedTimer bass_obs_scope_##__LINE__(::bass::obs::global_recorder(), name)
+#endif

@@ -40,6 +40,17 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_file(const std::string&
 util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(const util::IniFile& ini) {
   auto s = std::unique_ptr<Scenario>(new Scenario());
 
+  // ---- Observability ----
+  // Created before any subsystem so construction-time activity (the initial
+  // probe round, the deploy decision) lands in the journal too.
+  obs::RecorderConfig obs_cfg;
+  if (const auto* obs_sec = ini.first_of_kind("obs")) {
+    obs_cfg.enabled = obs_sec->flag_or("enabled", true);
+    obs_cfg.journal_capacity = static_cast<std::size_t>(
+        obs_sec->number_or("journal_capacity", static_cast<double>(obs_cfg.journal_capacity)));
+  }
+  s->recorder_ = std::make_unique<obs::Recorder>(obs_cfg);
+
   // ---- Nodes & topology ----
   net::Topology topo;
   for (const auto* section : ini.of_kind("node")) {
@@ -62,6 +73,7 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(const util::IniFile
     topo.add_link(a, b, static_cast<net::Bps>(mbps * 1e6));
   }
   s->network_ = std::make_unique<net::Network>(s->sim_, std::move(topo));
+  s->network_->set_recorder(s->recorder_.get());
 
   // Every pair must be reachable — the paper (and BASS) assume no
   // partitions (§3.1).
@@ -91,6 +103,7 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(const util::IniFile
   }
   s->orch_ = std::make_unique<core::Orchestrator>(s->sim_, *s->network_, s->cluster_,
                                                   orch_cfg);
+  s->orch_->set_recorder(s->recorder_.get());
   const auto* mon = ini.first_of_kind("monitor");
   if (mon == nullptr || mon->flag_or("enabled", true)) {
     monitor::MonitorConfig mon_cfg;
@@ -99,6 +112,7 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(const util::IniFile
       mon_cfg.headroom_frac = mon->number_or("headroom_frac", 0.10);
     }
     s->monitor_ = std::make_unique<monitor::NetMonitor>(*s->network_, mon_cfg);
+    s->monitor_->set_recorder(s->recorder_.get());
     s->orch_->attach_monitor(s->monitor_.get());
   }
 

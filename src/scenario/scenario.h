@@ -21,6 +21,7 @@
 //                           headroom = 0.2    interval_s = 30
 //                           cooldown_s = 30   min_gap_s = 90
 //   [profiler]              enabled = false   sample_interval_s = 10
+//   [obs]                   enabled = true    journal_capacity = 65536
 //   [workload]              type = requests   rps = 50
 //                           arrival = constant|exponential
 //                           client = alpha    max_in_flight = 0   seed = 1
@@ -40,6 +41,7 @@
 #include <string>
 
 #include "core/orchestrator.h"
+#include "obs/recorder.h"
 #include "profiler/online_profiler.h"
 #include "trace/player.h"
 #include "util/expected.h"
@@ -77,17 +79,25 @@ class Scenario {
   // ---- Introspection (valid after construction) ----
   core::Orchestrator& orchestrator() { return *orch_; }
   net::Network& network() { return *network_; }
+  // The run's observability recorder: every subsystem (network, monitor,
+  // orchestrator) emits through it from construction onward, so the journal
+  // covers initial probing and the deploy decision, not just run(). Export
+  // with recorder().journal().write_jsonl(...) / write_trace(...) and
+  // recorder().metrics().write_json(...) — bassctl run does exactly that.
+  obs::Recorder& recorder() { return *recorder_; }
   const app::AppGraph& app() const { return orch_->app(deployment_); }
   core::DeploymentId deployment() const { return deployment_; }
   net::NodeId node_id(const std::string& name) const;
   std::string node_name(net::NodeId id) const;
   sim::Duration duration() const { return duration_; }
+  sim::Time now() const { return sim_.now(); }
   const std::string& dot_path() const { return dot_path_; }
 
  private:
   Scenario() = default;
 
   sim::Simulation sim_;
+  std::unique_ptr<obs::Recorder> recorder_;
   std::unique_ptr<net::Network> network_;
   cluster::ClusterState cluster_;
   std::unique_ptr<monitor::NetMonitor> monitor_;

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/recorder.h"
 #include "util/strings.h"
 
 namespace bass::sched {
@@ -123,6 +124,7 @@ util::Error pack_failure(const app::AppGraph& app, app::ComponentId c) {
 
 util::Expected<Placement> sequential_pack(const PackInput& input,
                                           const std::vector<app::ComponentId>& order) {
+  BASS_OBS_SCOPE("sched.sequential_pack_us");
   PackState state(input);
   state.place_pinned();
   std::size_t idx = 0;
@@ -148,6 +150,7 @@ util::Expected<Placement> sequential_pack(const PackInput& input,
 
 util::Expected<Placement> path_pack(const PackInput& input,
                                     const std::vector<std::vector<app::ComponentId>>& paths) {
+  BASS_OBS_SCOPE("sched.path_pack_us");
   PackState state(input);
   state.place_pinned();
   for (const auto& path : paths) {

@@ -32,6 +32,15 @@ void CsvWriter::row(const std::vector<std::string>& fields) {
   if (file_ != nullptr) write_row(file_, fields);
 }
 
+bool CsvWriter::finish() {
+  if (file_ == nullptr) return false;
+  bool ok = std::fflush(file_) == 0;
+  ok = std::ferror(file_) == 0 && ok;
+  ok = std::fclose(file_) == 0 && ok;
+  file_ = nullptr;
+  return ok;
+}
+
 std::optional<CsvTable> read_csv(const std::string& path) {
   std::ifstream in(path);
   if (!in) return std::nullopt;

@@ -19,6 +19,13 @@ class CsvWriter {
   bool ok() const { return file_ != nullptr; }
   void row(const std::vector<std::string>& fields);
 
+  // Flushes and closes, reporting whether every byte actually landed —
+  // fwrite can succeed into stdio's buffer and still lose data when the
+  // disk fills at flush time. Returns false if the file never opened or
+  // any write/flush failed. Idempotent; the destructor closes without
+  // checking if finish() was never called.
+  bool finish();
+
  private:
   std::FILE* file_ = nullptr;
 };

@@ -2,12 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 namespace bass::util {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+LogLevel initial_level() {
+  LogLevel level = LogLevel::kWarn;
+  if (const char* env = std::getenv("BASS_LOG")) parse_log_level(env, level);
+  return level;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,6 +28,16 @@ const char* level_name(LogLevel level) {
 }
 
 }  // namespace
+
+bool parse_log_level(const std::string& name, LogLevel& out) {
+  if (name == "debug") out = LogLevel::kDebug;
+  else if (name == "info") out = LogLevel::kInfo;
+  else if (name == "warn") out = LogLevel::kWarn;
+  else if (name == "error") out = LogLevel::kError;
+  else if (name == "off") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 

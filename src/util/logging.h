@@ -1,5 +1,10 @@
 // Minimal leveled logger. Logging goes to stderr; the level is a process-wide
 // setting so benches can silence the library while examples narrate.
+//
+// The initial level is kWarn, overridable with the BASS_LOG environment
+// variable (debug|info|warn|error|off) — handy for operators debugging a
+// scenario through bassctl without recompiling. Explicit set_log_level()
+// calls (e.g. bassctl --log-level) win over the environment.
 #pragma once
 
 #include <sstream>
@@ -8,6 +13,10 @@
 namespace bass::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Parses a level name (case-sensitive: "debug", "info", "warn", "error",
+// "off"). Returns false and leaves `out` untouched on anything else.
+bool parse_log_level(const std::string& name, LogLevel& out);
 
 // Process-wide minimum level. Messages below it are discarded.
 void set_log_level(LogLevel level);

@@ -196,6 +196,52 @@ TEST(Network, BatchUpdateCoalescesReallocations) {
   EXPECT_EQ(f.net->reallocation_count(), before + 1);
 }
 
+TEST(Network, AllocStatsTrackComponentScope) {
+  Fixture f;
+  const AllocStats& stats = f.net->alloc_stats();
+  const auto base_full = stats.full_reallocations;
+
+  // First stream is the whole active set: a full pass touching one flow.
+  f.net->open_stream(0, 1, mbps(4));
+  EXPECT_EQ(stats.reallocations, 1);
+  EXPECT_EQ(stats.last_flows_touched, 1);
+  EXPECT_EQ(stats.full_reallocations, base_full + 1);
+
+  // Second stream lives on the other link: disjoint contention component,
+  // so the pass reprices only the new flow and is not "full".
+  f.net->open_stream(1, 2, mbps(4));
+  EXPECT_EQ(stats.reallocations, 2);
+  EXPECT_EQ(stats.last_flows_touched, 1);
+  EXPECT_EQ(stats.full_reallocations, base_full + 1);
+
+  // A stream spanning both links welds everything into one component.
+  f.net->open_stream(0, 2, mbps(4));
+  EXPECT_EQ(stats.reallocations, 3);
+  EXPECT_EQ(stats.last_flows_touched, 3);
+  EXPECT_EQ(stats.last_links_touched, 2);
+  EXPECT_EQ(stats.max_component_flows, 3);
+  // Cumulative touch count is the sum over the three passes.
+  EXPECT_EQ(stats.flows_touched, 1 + 1 + 3);
+  EXPECT_GT(stats.alloc_seconds, 0.0);
+}
+
+TEST(Network, AllocStatsBatchedTickCountsOnePass) {
+  Fixture f;
+  f.net->open_stream(0, 2, mbps(4));
+  const AllocStats& stats = f.net->alloc_stats();
+  const auto passes = stats.reallocations;
+  const auto touched = stats.flows_touched;
+  {
+    Network::BatchUpdate batch(*f.net);
+    f.net->set_link_capacity_between(0, 1, mbps(6));
+    f.net->set_link_capacity_between(1, 2, mbps(6));
+  }
+  // One batched tick = one pass repricing the single affected flow once.
+  EXPECT_EQ(stats.reallocations, passes + 1);
+  EXPECT_EQ(stats.flows_touched, touched + 1);
+  EXPECT_EQ(stats.last_flows_touched, 1);
+}
+
 TEST(Network, BatchedCapacityChangeSettlesAccountingExactly) {
   Fixture f;
   // 4 Mbps stream for 5 s, then a batched two-link capacity drop pins it to

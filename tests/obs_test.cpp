@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/catalog.h"
+#include "core/orchestrator.h"
+#include "obs/recorder.h"
+#include "scenario/scenario.h"
+#include "util/ini.h"
+
+namespace bass::obs {
+namespace {
+
+// ---- Journal ring ----
+
+TEST(Journal, RingOverwritesOldestAndCountsDropped) {
+  EventJournal journal(4);
+  for (int i = 0; i < 6; ++i) {
+    journal.record(ReallocationSolved{sim::seconds(i), i, 1, false});
+  }
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.capacity(), 4u);
+  EXPECT_EQ(journal.dropped(), 2);
+  // Oldest-first: events 2..5 survive.
+  std::vector<std::int64_t> flows;
+  journal.for_each([&](const Event& e) {
+    flows.push_back(std::get<ReallocationSolved>(e).flows);
+  });
+  EXPECT_EQ(flows, (std::vector<std::int64_t>{2, 3, 4, 5}));
+}
+
+TEST(Journal, SnapshotMatchesForEach) {
+  EventJournal journal(8);
+  journal.record(HeadroomViolation{sim::seconds(1), 3, net::mbps(2)});
+  journal.record(LinkCapacityChanged{sim::seconds(2), 3, net::mbps(10), net::mbps(5)});
+  const auto events = journal.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(event_type_name(events[0]), "headroom_violation");
+  EXPECT_STREQ(event_type_name(events[1]), "link_capacity_changed");
+  EXPECT_EQ(event_time(events[1]), sim::seconds(2));
+}
+
+// ---- JSONL round trip ----
+
+std::string field(const std::vector<std::pair<std::string, std::string>>& fields,
+                  const std::string& key) {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return "<missing>";
+}
+
+TEST(Journal, JsonlRoundTripsThroughParser) {
+  EventJournal journal;
+  journal.record(MigrationCompleted{sim::seconds(42), 0, 2, 3, 1, sim::seconds(20)});
+  journal.record(ScheduleDecision{sim::seconds(1), 0, "bass-auto", 5, net::mbps(12),
+                                  37.5, true});
+  const std::string jsonl = journal.to_jsonl();
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t nl = jsonl.find('\n'); nl != std::string::npos;
+       start = nl + 1, nl = jsonl.find('\n', start)) {
+    lines.push_back(jsonl.substr(start, nl - start));
+  }
+  ASSERT_EQ(lines.size(), 2u);
+
+  std::vector<std::pair<std::string, std::string>> fields;
+  ASSERT_TRUE(parse_journal_line(lines[0], fields));
+  EXPECT_EQ(field(fields, "type"), "\"migration_completed\"");
+  EXPECT_EQ(field(fields, "t_us"), std::to_string(sim::seconds(42)));
+  EXPECT_EQ(field(fields, "downtime_us"), std::to_string(sim::seconds(20)));
+  EXPECT_EQ(field(fields, "from"), "3");
+  EXPECT_EQ(field(fields, "to"), "1");
+
+  ASSERT_TRUE(parse_journal_line(lines[1], fields));
+  EXPECT_EQ(field(fields, "type"), "\"schedule_decision\"");
+  EXPECT_EQ(field(fields, "scheduler"), "\"bass-auto\"");
+  EXPECT_EQ(field(fields, "success"), "true");
+
+  EXPECT_FALSE(parse_journal_line("not json", fields));
+}
+
+TEST(Journal, TraceExportCarriesTracksAndSlices) {
+  EventJournal journal;
+  journal.record(MigrationStarted{sim::seconds(10), 0, 1, 2, 0});
+  journal.record(MigrationCompleted{sim::seconds(30), 0, 1, 2, 0, sim::seconds(20)});
+  const std::string trace = journal.to_trace();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"controller\""), std::string::npos);
+  // The completed migration renders as a duration slice covering the outage.
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":" + std::to_string(sim::seconds(20))),
+            std::string::npos);
+}
+
+// ---- Metrics registry ----
+
+TEST(Metrics, HandlesAreStableAndLabelled) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("probes", {{"kind", "full"}});
+  Counter& b = reg.counter("probes", {{"kind", "headroom"}});
+  Counter& a2 = reg.counter("probes", {{"kind", "full"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &a2);
+  a.add(3);
+  a2.inc();
+  EXPECT_EQ(a.value(), 4);
+  EXPECT_EQ(b.value(), 0);
+  EXPECT_EQ(reg.instrument_count(), 2u);
+}
+
+TEST(Metrics, HistogramBucketsAndExtremes) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat_ms", {1.0, 10.0, 100.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(10.0);  // bucket 1 (inclusive upper bound)
+  h.observe(50.0);  // bucket 2
+  h.observe(1e6);   // overflow
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::int64_t>{1, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 10.0 + 50.0 + 1e6);
+}
+
+TEST(Metrics, JsonSnapshotListsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("net.reallocations").add(7);
+  reg.gauge("cluster.cpu_free").set(1.5);
+  reg.timer_us("sched.place_us").observe(42.0);
+  const std::string json = reg.to_json(sim::seconds(9));
+  EXPECT_NE(json.find("\"t_us\":" + std::to_string(sim::seconds(9))),
+            std::string::npos);
+  EXPECT_NE(json.find("\"net.reallocations\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"cluster.cpu_free\""), std::string::npos);
+  EXPECT_NE(json.find("\"sched.place_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"boundaries\""), std::string::npos);
+}
+
+// ---- Recorder ----
+
+TEST(Recorder, CountsEventsPerType) {
+  Recorder rec;
+  rec.record(HeadroomViolation{sim::seconds(1), 0, 0});
+  rec.record(HeadroomViolation{sim::seconds(2), 0, 0});
+  rec.record(ControllerRound{sim::seconds(3), 0, 1, 1});
+  EXPECT_EQ(rec.journal().size(), 3u);
+  EXPECT_EQ(rec.metrics().counter("events.headroom_violation").value(), 2);
+  EXPECT_EQ(rec.metrics().counter("events.controller_round").value(), 1);
+}
+
+TEST(Recorder, DisabledRecorderDropsAtEmitSite) {
+  Recorder rec({.journal_capacity = 16, .enabled = false});
+  // The per-type event counters exist from construction; nothing else may
+  // appear while disabled.
+  const auto instruments = rec.metrics().instrument_count();
+  rec.record(HeadroomViolation{sim::seconds(1), 0, 0});
+  EXPECT_TRUE(rec.journal().empty());
+  EXPECT_EQ(rec.metrics().counter("events.headroom_violation").value(), 0);
+  {
+    ScopedTimer t(&rec, "noop_us");
+  }
+  EXPECT_EQ(rec.metrics().instrument_count(), instruments);
+}
+
+TEST(Recorder, ScopedTimerFeedsTimerHistogram) {
+  Recorder rec;
+  {
+    ScopedTimer t(&rec, "solve_us");
+  }
+  {
+    ScopedTimer null_ok(nullptr, "ignored");  // must not crash
+  }
+  EXPECT_EQ(rec.metrics().timer_us("solve_us").count(), 1);
+}
+
+TEST(Recorder, GlobalRecorderDrivesKernelScopes) {
+  Recorder rec;
+  set_global_recorder(&rec);
+  {
+    BASS_OBS_SCOPE("kernel.test_us");
+  }
+  set_global_recorder(nullptr);
+  {
+    BASS_OBS_SCOPE("kernel.test_us");  // detached: no observation
+  }
+  EXPECT_EQ(rec.metrics().timer_us("kernel.test_us").count(), 1);
+}
+
+// ---- End-to-end: journal vs. orchestrator migration history ----
+
+struct Rig {
+  sim::Simulation sim;
+  std::unique_ptr<net::Network> network;
+  cluster::ClusterState cluster;
+  std::unique_ptr<core::Orchestrator> orch;
+  Recorder recorder;
+
+  Rig() {
+    net::Topology topo;
+    for (int i = 0; i < 3; ++i) topo.add_node();
+    topo.add_link(0, 1, net::mbps(50));
+    topo.add_link(1, 2, net::mbps(50));
+    topo.add_link(0, 2, net::mbps(50));
+    network = std::make_unique<net::Network>(sim, std::move(topo));
+    for (int i = 0; i < 3; ++i) cluster.add_node(i, {12000, 16384, true});
+    orch = std::make_unique<core::Orchestrator>(sim, *network, cluster);
+    network->set_recorder(&recorder);
+    orch->set_recorder(&recorder);
+  }
+};
+
+app::AppGraph tiny_app() {
+  app::AppGraph g("tiny");
+  g.add_component({.name = "a", .cpu_milli = 1000, .memory_mb = 128});
+  g.add_component({.name = "b", .cpu_milli = 1000, .memory_mb = 128});
+  g.add_dependency({.from = 0, .to = 1, .bandwidth = net::mbps(8)});
+  return g;
+}
+
+std::vector<MigrationCompleted> completed_events(const EventJournal& journal) {
+  std::vector<MigrationCompleted> out;
+  journal.for_each([&](const Event& e) {
+    if (const auto* m = std::get_if<MigrationCompleted>(&e)) out.push_back(*m);
+  });
+  return out;
+}
+
+TEST(EndToEnd, JournalMatchesMigrationHistoryExactly) {
+  Rig rig;
+  const auto id = rig.orch->deploy(tiny_app(), core::SchedulerKind::kBassBfs).take();
+
+  // Mix migration flavors: manual moves, an in-place restart, and a node
+  // failure with cold recovery — every path must journal its completion.
+  const net::NodeId from = rig.orch->node_of(id, 1);
+  const net::NodeId target = from == 2 ? 0 : 2;
+  EXPECT_TRUE(rig.orch->migrate(id, 1, target));
+  rig.sim.run_all();
+  rig.orch->restart_component(id, 0);
+  rig.sim.run_all();
+  rig.orch->fail_node(rig.orch->node_of(id, 1));
+  rig.sim.run_all();
+
+  const auto& history = rig.orch->migration_events();
+  const auto journalled = completed_events(rig.recorder.journal());
+  ASSERT_GE(history.size(), 3u);
+  ASSERT_EQ(journalled.size(), history.size());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(journalled[i].at, history[i].at) << "event " << i;
+    EXPECT_EQ(journalled[i].deployment, history[i].deployment) << "event " << i;
+    EXPECT_EQ(journalled[i].component, history[i].component) << "event " << i;
+    EXPECT_EQ(journalled[i].from, history[i].from) << "event " << i;
+    EXPECT_EQ(journalled[i].to, history[i].to) << "event " << i;
+    // Downtime spans the whole outage: never negative, never past `at`.
+    EXPECT_GE(journalled[i].downtime, 0);
+    EXPECT_LE(journalled[i].downtime, journalled[i].at);
+  }
+  EXPECT_EQ(rig.recorder.metrics().counter("events.migration_completed").value(),
+            static_cast<std::int64_t>(history.size()));
+  // Every start has a completion (no migration left dangling).
+  std::size_t started = 0;
+  rig.recorder.journal().for_each([&](const Event& e) {
+    if (std::holds_alternative<MigrationStarted>(e)) ++started;
+  });
+  EXPECT_EQ(started, journalled.size());
+}
+
+TEST(EndToEnd, ScheduleDecisionJournalsPlacementLatency) {
+  Rig rig;
+  rig.orch->deploy(tiny_app(), core::SchedulerKind::kBassBfs).take();
+  ScheduleDecision decision;
+  bool found = false;
+  rig.recorder.journal().for_each([&](const Event& e) {
+    if (const auto* d = std::get_if<ScheduleDecision>(&e)) {
+      decision = *d;
+      found = true;
+    }
+  });
+  ASSERT_TRUE(found);
+  EXPECT_TRUE(decision.success);
+  EXPECT_EQ(decision.scheduler, std::string("bass-bfs"));
+  EXPECT_EQ(decision.components, 2);
+  EXPECT_GT(decision.place_us, 0.0);
+  EXPECT_EQ(rig.recorder.metrics().timer_us("sched.place_us").count(), 1);
+}
+
+// ---- Scenario wiring ----
+
+constexpr const char* kScenarioIni = R"(
+[node alpha]
+cpu = 4000
+[node beta]
+cpu = 4000
+[link alpha beta]
+capacity_mbps = 20
+[component producer]
+cpu = 500
+pinned = alpha
+[component consumer]
+cpu = 500
+[edge producer consumer]
+bandwidth_mbps = 4
+[monitor]
+probe_interval_s = 10
+[obs]
+journal_capacity = 4096
+[workload]
+type = requests
+rps = 5
+client = alpha
+[run]
+duration_s = 60
+)";
+
+TEST(Scenario, RecorderCoversConstructionAndRun) {
+  auto ini = util::parse_ini(kScenarioIni);
+  ASSERT_TRUE(ini.ok()) << ini.error();
+  auto s = scenario::Scenario::from_ini(ini.value());
+  ASSERT_TRUE(s.ok()) << s.error();
+  auto& scene = *s.value();
+  EXPECT_EQ(scene.recorder().journal().capacity(), 4096u);
+  // The initial probe round and the deploy happen during construction and
+  // must already be journalled.
+  const auto before_run = scene.recorder().journal().snapshot();
+  bool probed = false, scheduled = false;
+  for (const Event& e : before_run) {
+    probed = probed || std::holds_alternative<ProbeCompleted>(e);
+    scheduled = scheduled || std::holds_alternative<ScheduleDecision>(e);
+  }
+  EXPECT_TRUE(probed);
+  EXPECT_TRUE(scheduled);
+
+  scene.run();
+  MetricsRegistry& metrics = scene.recorder().metrics();
+  EXPECT_GT(metrics.counter("monitor.probe_bytes").value(), 0);
+  EXPECT_GT(metrics.counter("net.reallocations").value(), 0);
+
+  // Export + reparse: every journal line must satisfy the flat-JSON schema.
+  const std::string path = ::testing::TempDir() + "obs_test_journal.jsonl";
+  ASSERT_TRUE(scene.recorder().journal().write_jsonl(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string line;
+  std::vector<std::pair<std::string, std::string>> fields;
+  char buf[4096];
+  std::size_t lines = 0;
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    line.assign(buf);
+    if (!line.empty() && line.back() == '\n') line.pop_back();
+    ASSERT_TRUE(parse_journal_line(line, fields)) << line;
+    EXPECT_NE(field(fields, "t_us"), "<missing>");
+    EXPECT_NE(field(fields, "type"), "<missing>");
+    ++lines;
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, scene.recorder().journal().size());
+
+  // Disabling the scenario recorder is honored at the emit sites.
+  const auto count_before = scene.recorder().journal().size();
+  scene.recorder().set_enabled(false);
+  scene.network().set_link_capacity(0, net::mbps(10));
+  EXPECT_EQ(scene.recorder().journal().size(), count_before);
+}
+
+}  // namespace
+}  // namespace bass::obs

@@ -1,11 +1,20 @@
 // bassctl — operator CLI for the BASS simulator.
 //
 //   bassctl validate <scenario.ini>        check a scenario without running
-//   bassctl run <scenario.ini>             run it and print the report
+//   bassctl run <scenario.ini> [--journal out.jsonl] [--metrics out.json]
+//               [--trace out.trace.json]   run it and print the report;
+//                                          optionally export the event
+//                                          journal (JSON Lines), metrics
+//                                          snapshot, and Perfetto trace
+//   bassctl events <journal.jsonl> [--type T] [--since S] [--until S]
+//                                          filter/pretty-print a journal
 //   bassctl dot <scenario.ini> [out.dot]   export the initial placement
 //   bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]
 //                 [--fades] [--seed N] [--out trace.csv]
 //                                          generate a bandwidth trace CSV
+//
+// The global --log-level {debug,info,warn,error,off} flag (or the BASS_LOG
+// environment variable) controls library logging on stderr.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -14,8 +23,10 @@
 #include <vector>
 
 #include "app/dot.h"
+#include "obs/journal.h"
 #include "scenario/scenario.h"
 #include "trace/generator.h"
+#include "util/logging.h"
 
 using namespace bass;
 
@@ -24,8 +35,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  bassctl validate <scenario.ini>\n"
-               "  bassctl run <scenario.ini>\n"
+               "  bassctl [--log-level L] validate <scenario.ini>\n"
+               "  bassctl [--log-level L] run <scenario.ini> [--journal out.jsonl]\n"
+               "          [--metrics out.json] [--trace out.trace.json]\n"
+               "  bassctl events <journal.jsonl> [--type T] [--since S] [--until S]\n"
                "  bassctl dot <scenario.ini> [out.dot]\n"
                "  bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]\n"
                "                [--fades] [--seed N] [--out trace.csv]\n");
@@ -46,7 +59,24 @@ int cmd_validate(const std::string& path) {
   return 0;
 }
 
-int cmd_run(const std::string& path) {
+int cmd_run(const std::vector<std::string>& args) {
+  std::string path;
+  std::string journal_path, metrics_path, trace_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--journal" && i + 1 < args.size()) {
+      journal_path = args[++i];
+    } else if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
+      path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
   auto s = scenario::Scenario::from_file(path);
   if (!s.ok()) {
     std::fprintf(stderr, "scenario error: %s\n", s.error().c_str());
@@ -70,6 +100,97 @@ int cmd_run(const std::string& path) {
   }
   std::printf("migrations %zu\n", report.migrations);
   std::printf("probes     %.2f MB\n", static_cast<double>(report.probe_bytes) / 1e6);
+
+  const obs::Recorder& recorder = scene.recorder();
+  if (!journal_path.empty()) {
+    if (!recorder.journal().write_jsonl(journal_path)) {
+      std::fprintf(stderr, "cannot write '%s'\n", journal_path.c_str());
+      return 1;
+    }
+    std::printf("journal    %zu events -> %s (%lld dropped)\n",
+                recorder.journal().size(), journal_path.c_str(),
+                static_cast<long long>(recorder.journal().dropped()));
+  }
+  if (!metrics_path.empty()) {
+    if (!recorder.metrics().write_json(metrics_path, scene.now())) {
+      std::fprintf(stderr, "cannot write '%s'\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics    %zu instruments -> %s\n",
+                recorder.metrics().instrument_count(), metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!recorder.journal().write_trace(trace_path)) {
+      std::fprintf(stderr, "cannot write '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace      %s (open in https://ui.perfetto.dev)\n", trace_path.c_str());
+  }
+  return 0;
+}
+
+// Filters and pretty-prints a journal written by `run --journal`. Times are
+// printed in sim seconds; string values lose their JSON quotes.
+int cmd_events(const std::vector<std::string>& args) {
+  std::string path;
+  std::string type_filter;
+  double since_s = -1, until_s = -1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--type" && i + 1 < args.size()) {
+      type_filter = args[++i];
+    } else if (args[i] == "--since" && i + 1 < args.size()) {
+      since_s = std::atof(args[++i].c_str());
+    } else if (args[i] == "--until" && i + 1 < args.size()) {
+      until_s = std::atof(args[++i].c_str());
+    } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
+      path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::size_t lineno = 0, shown = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (!obs::parse_journal_line(line, fields)) {
+      std::fprintf(stderr, "%s:%zu: not a journal line\n", path.c_str(), lineno);
+      return 1;
+    }
+    double t_s = 0;
+    std::string type;
+    std::string rest;
+    for (const auto& [key, value] : fields) {
+      if (key == "t_us") {
+        t_s = std::atof(value.c_str()) / 1e6;
+      } else if (key == "type") {
+        type = value.size() >= 2 ? value.substr(1, value.size() - 2) : value;
+      } else {
+        if (!rest.empty()) rest += "  ";
+        rest += key + "=";
+        // Strip the JSON quotes from string values for readability.
+        if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+          rest += value.substr(1, value.size() - 2);
+        } else {
+          rest += value;
+        }
+      }
+    }
+    if (!type_filter.empty() && type != type_filter) continue;
+    if (since_s >= 0 && t_s < since_s) continue;
+    if (until_s >= 0 && t_s > until_s) continue;
+    std::printf("%10.3fs  %-22s %s\n", t_s, type.c_str(), rest.c_str());
+    ++shown;
+  }
+  std::fprintf(stderr, "%zu events\n", shown);
   return 0;
 }
 
@@ -147,11 +268,29 @@ int cmd_trace(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  std::vector<std::string> all(argv + 1, argv + argc);
+  // The global --log-level flag may appear anywhere; it wins over BASS_LOG.
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == "--log-level") {
+      if (i + 1 >= all.size()) return usage();
+      util::LogLevel level;
+      if (!util::parse_log_level(all[++i], level)) {
+        std::fprintf(stderr, "unknown log level '%s' (debug|info|warn|error|off)\n",
+                     all[i].c_str());
+        return 2;
+      }
+      util::set_log_level(level);
+    } else {
+      rest.push_back(all[i]);
+    }
+  }
+  if (rest.empty()) return usage();
+  const std::string cmd = rest[0];
+  std::vector<std::string> args(rest.begin() + 1, rest.end());
   if (cmd == "validate" && args.size() == 1) return cmd_validate(args[0]);
-  if (cmd == "run" && args.size() == 1) return cmd_run(args[0]);
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "events") return cmd_events(args);
   if (cmd == "dot" && (args.size() == 1 || args.size() == 2)) {
     return cmd_dot(args[0], args.size() == 2 ? args[1] : "");
   }
