@@ -32,6 +32,17 @@ const char* scheduler_kind_name(SchedulerKind kind) {
   return "?";
 }
 
+const char* move_reason_name(MoveReason reason) {
+  switch (reason) {
+    case MoveReason::kManual: return "manual";
+    case MoveReason::kController: return "controller";
+    case MoveReason::kDrain: return "drain";
+    case MoveReason::kFailover: return "failover";
+    case MoveReason::kRestart: return "restart";
+  }
+  return "?";
+}
+
 Orchestrator::Orchestrator(sim::Simulation& sim, net::Network& network,
                            cluster::ClusterState& cluster, OrchestratorConfig config)
     : sim_(&sim), network_(&network), cluster_(&cluster), config_(config) {}
@@ -226,6 +237,11 @@ const std::vector<ControllerRound>& Orchestrator::controller_rounds(DeploymentId
   return dep(id).rounds;
 }
 
+const controller::MigrationParams* Orchestrator::migration_params(DeploymentId id) const {
+  const Deployment& d = dep(id);
+  return d.migration_enabled ? &d.params : nullptr;
+}
+
 void Orchestrator::controller_evaluate(DeploymentId id) {
   Deployment& d = dep(id);
   const auto view = make_view();
@@ -359,7 +375,7 @@ void Orchestrator::controller_evaluate(DeploymentId id) {
       continue;
     }
     d.cooldown->note_migration(mover, now);
-    if (migrate(id, mover, *target)) {
+    if (migrate(id, mover, *target, MoveReason::kController)) {
       ++started;
       moved_this_round.insert(mover);
       // The pair rule: the partner(s) of a moved component stay put.
@@ -377,26 +393,29 @@ void Orchestrator::controller_evaluate(DeploymentId id) {
           now, id, static_cast<int>(violating.size()), started});
     }
   }
+  if (round_hook_) round_hook_(id);
 }
 
 void Orchestrator::note_migration_done(DeploymentId id, app::ComponentId component,
                                        net::NodeId from, net::NodeId to,
-                                       sim::Time went_down) {
+                                       sim::Time went_down, MoveReason reason) {
   const sim::Time now = sim_->now();
-  migrations_.push_back({now, id, component, from, to});
+  migrations_.push_back({now, id, component, from, to,
+                         went_down >= 0 ? went_down : now, reason});
   if (recorder_ == nullptr) return;
   const sim::Duration downtime = went_down >= 0 ? now - went_down : 0;
   m_downtime_ms_->observe(sim::to_millis(downtime));
-  recorder_->record(obs::MigrationCompleted{now, id, component, from, to, downtime});
+  recorder_->record(obs::MigrationCompleted{now, id, component, from, to, downtime,
+                                            move_reason_name(reason)});
 }
 
 bool Orchestrator::migrate(DeploymentId id, app::ComponentId component,
-                           net::NodeId target) {
+                           net::NodeId target, MoveReason reason) {
   Deployment& d = dep(id);
   if (!is_up(id, component)) return false;
   if (d.app.component(component).pinned_node) return false;
   if (target == node_of(id, component)) return false;
-  execute_move(id, component, target);
+  execute_move(id, component, target, reason);
   return true;
 }
 
@@ -420,13 +439,15 @@ int Orchestrator::drain_node(net::NodeId node) {
                          << "'";
         continue;
       }
-      if (migrate(id, c, *target)) ++started;
+      if (migrate(id, c, *target, MoveReason::kDrain)) ++started;
     }
   }
   return started;
 }
 
 void Orchestrator::fail_node(net::NodeId node, sim::Duration detection_delay) {
+  if (failed_nodes_.count(node)) return;  // already down
+  failed_nodes_.insert(node);
   cluster_->set_schedulable(node, false);
   int dropped = 0;
   for (DeploymentId id = 0; id < static_cast<DeploymentId>(deployments_.size()); ++id) {
@@ -445,8 +466,9 @@ void Orchestrator::fail_node(net::NodeId node, sim::Duration detection_delay) {
       const sim::Time went_down = sim_->now();
       if (recorder_ != nullptr) {
         // Outage begins now; the landing node is unknown until recovery.
-        recorder_->record(
-            obs::MigrationStarted{went_down, id, c, node, net::kInvalidNode});
+        recorder_->record(obs::MigrationStarted{
+            went_down, id, c, node, net::kInvalidNode,
+            move_reason_name(MoveReason::kFailover)});
       }
       sim_->schedule_after(detection_delay + config_.restart_duration,
                            [this, id, c, node, went_down] {
@@ -457,13 +479,38 @@ void Orchestrator::fail_node(net::NodeId node, sim::Duration detection_delay) {
   util::log_info() << "node" << node << " failed; " << dropped << " components dropped";
 }
 
+void Orchestrator::recover_node(net::NodeId node) {
+  failed_nodes_.erase(node);
+  cluster_->set_schedulable(node, true);
+  util::log_info() << "node" << node << " recovered (schedulable again)";
+}
+
 void Orchestrator::recover_component(DeploymentId id, app::ComponentId component,
                                      net::NodeId failed_node, sim::Time went_down) {
   Deployment& d = dep(id);
   const auto& comp = d.app.component(component);
+  auto retry = [this, id, component, failed_node, went_down] {
+    sim_->schedule_after(sim::seconds(30), [this, id, component, failed_node, went_down] {
+      recover_component(id, component, failed_node, went_down);
+    });
+  };
   if (comp.pinned_node) {
-    util::log_warn() << "'" << comp.name << "' is pinned to failed node"
-                     << failed_node;
+    // Pinned components can only live on their node: wait for it to come
+    // back (recover_node), then restart in place.
+    const net::NodeId pinned = *comp.pinned_node;
+    if (failed_nodes_.count(pinned) != 0 ||
+        (needs_resources(comp) &&
+         !cluster_->allocate(pinned, comp.cpu_milli, comp.memory_mb))) {
+      util::log_warn() << "'" << comp.name << "' is pinned to down node"
+                       << pinned << "; retrying";
+      retry();
+      return;
+    }
+    d.placement[component] = pinned;
+    d.up[static_cast<std::size_t>(component)] = true;
+    note_migration_done(id, component, failed_node, pinned, went_down,
+                        MoveReason::kFailover);
+    for (DeploymentListener* l : d.listeners) l->on_component_up(component, pinned);
     return;
   }
   const auto view = make_view();
@@ -472,23 +519,22 @@ void Orchestrator::recover_component(DeploymentId id, app::ComponentId component
   if (target && cluster_->allocate(*target, comp.cpu_milli, comp.memory_mb)) {
     d.placement[component] = *target;
     d.up[static_cast<std::size_t>(component)] = true;
-    note_migration_done(id, component, failed_node, *target, went_down);
+    note_migration_done(id, component, failed_node, *target, went_down,
+                        MoveReason::kFailover);
     for (DeploymentListener* l : d.listeners) l->on_component_up(component, *target);
     return;
   }
   util::log_warn() << "no surviving node for '" << comp.name << "'; retrying";
-  sim_->schedule_after(sim::seconds(30), [this, id, component, failed_node, went_down] {
-    recover_component(id, component, failed_node, went_down);
-  });
+  retry();
 }
 
 void Orchestrator::restart_component(DeploymentId id, app::ComponentId component) {
   if (!is_up(id, component)) return;
-  execute_move(id, component, node_of(id, component));
+  execute_move(id, component, node_of(id, component), MoveReason::kRestart);
 }
 
 void Orchestrator::execute_move(DeploymentId id, app::ComponentId component,
-                                net::NodeId target) {
+                                net::NodeId target, MoveReason reason) {
   Deployment& d = dep(id);
   const net::NodeId from = node_of(id, component);
   const auto& comp = d.app.component(component);
@@ -501,24 +547,32 @@ void Orchestrator::execute_move(DeploymentId id, app::ComponentId component,
                    << " s, state " << comp.state_mb << " MiB)";
   const sim::Time went_down = sim_->now();
   if (recorder_ != nullptr) {
-    recorder_->record(obs::MigrationStarted{went_down, id, component, from, target});
+    recorder_->record(obs::MigrationStarted{went_down, id, component, from, target,
+                                            move_reason_name(reason)});
   }
 
-  auto bring_up = [this, id, component, from, target, went_down] {
+  auto bring_up = [this, id, component, from, target, went_down, reason] {
     Deployment& d2 = dep(id);
     const auto& c2 = d2.app.component(component);
     net::NodeId final_target = target;
-    if (!cluster_->allocate(final_target, c2.cpu_milli, c2.memory_mb)) {
+    if (needs_resources(c2) &&
+        !cluster_->allocate(final_target, c2.cpu_milli, c2.memory_mb)) {
       // The target filled up while we were moving; fall back to the old
       // node, which we know fit the component a restart ago.
       final_target = from;
-      const bool ok = cluster_->allocate(final_target, c2.cpu_milli, c2.memory_mb);
-      assert(ok && "old node no longer fits its own component");
-      (void)ok;
+      if (!cluster_->allocate(final_target, c2.cpu_milli, c2.memory_mb)) {
+        // Both ends are gone — the old node failed or was cordoned while
+        // the move was in flight (the chaos case). Fall into the failure
+        // retry loop instead of reviving the component on a dead node.
+        util::log_warn() << "'" << c2.name
+                         << "' lost both move endpoints; entering recovery";
+        recover_component(id, component, from, went_down);
+        return;
+      }
     }
     d2.placement[component] = final_target;
     d2.up[static_cast<std::size_t>(component)] = true;
-    note_migration_done(id, component, from, final_target, went_down);
+    note_migration_done(id, component, from, final_target, went_down, reason);
     for (DeploymentListener* l : d2.listeners) {
       l->on_component_up(component, final_target);
     }

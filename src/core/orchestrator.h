@@ -6,7 +6,9 @@
 // target node, and execute the move with a realistic restart outage.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "app/app_graph.h"
@@ -47,12 +49,27 @@ class DeploymentListener {
   }
 };
 
+// Why a component moved — carried on migration events and journal records
+// so the invariant checker can apply controller-only rules (cooldown, pair
+// rule) without flagging failovers and drains.
+enum class MoveReason {
+  kManual,      // experiment called migrate()
+  kController,  // bandwidth-controller decision (Algorithm 3)
+  kDrain,       // operator drain
+  kFailover,    // restart after a node failure
+  kRestart,     // down/up in place (Fig. 14(a))
+};
+
+const char* move_reason_name(MoveReason reason);
+
 struct MigrationEvent {
   sim::Time at;  // when the move completed (component back up)
   DeploymentId deployment;
   app::ComponentId component;
   net::NodeId from;
   net::NodeId to;
+  sim::Time started_at = 0;  // when the component went down for the move
+  MoveReason reason = MoveReason::kManual;
 };
 
 // One controller evaluation round (Table 1's rows).
@@ -115,7 +132,8 @@ class Orchestrator {
   void disable_migration(DeploymentId id);
 
   // Manual move (used by experiments); true if the migration started.
-  bool migrate(DeploymentId id, app::ComponentId component, net::NodeId target);
+  bool migrate(DeploymentId id, app::ComponentId component, net::NodeId target,
+               MoveReason reason = MoveReason::kManual);
 
   // kubectl-drain for the mesh: cordons `node` and migrates every live,
   // unpinned component hosted there (across all deployments) to its best
@@ -128,16 +146,35 @@ class Orchestrator {
   // Abrupt *compute* failure: the node is cordoned, every component it
   // hosted drops instantly (no graceful handoff, checkpoints on the dead
   // node are lost), and after `detection_delay` the orchestrator cold-
-  // restarts each one on a surviving node, retrying periodically while the
-  // cluster is too full. The node's radios keep relaying (the paper scopes
-  // out network partitions, §3.1) — this models the common mesh failure of
-  // a dead compute board behind a live router.
+  // restarts each one on a surviving node — pinned components wait for
+  // their node to come back — retrying periodically while placement is
+  // infeasible. The node's radios keep relaying — this models the common
+  // mesh failure of a dead compute board behind a live router. A real
+  // network partition (the paper scopes those out, §3.1) is modelled
+  // separately by fault::Injector downing the member links via
+  // Network::set_link_down, so compute and connectivity fail independently.
   void fail_node(net::NodeId node, sim::Duration detection_delay = sim::seconds(10));
+  // The failed node's board was replaced / rebooted: uncordons it and makes
+  // it schedulable again. Components pinned there rejoin on their next
+  // recovery retry; unpinned work drifts back only when the controller or
+  // an operator moves it. Also usable as a plain uncordon after drain_node.
+  void recover_node(net::NodeId node);
+  bool node_failed(net::NodeId node) const { return failed_nodes_.count(node) != 0; }
+  const std::set<net::NodeId>& failed_nodes() const { return failed_nodes_; }
   // Down/up in place — the Fig. 14(a) restart-overhead experiment.
   void restart_component(DeploymentId id, app::ComponentId component);
 
   const std::vector<MigrationEvent>& migration_events() const { return migrations_; }
   const std::vector<ControllerRound>& controller_rounds(DeploymentId id) const;
+  int deployment_count() const { return static_cast<int>(deployments_.size()); }
+  // Controller parameters while migration is enabled, else nullptr.
+  const controller::MigrationParams* migration_params(DeploymentId id) const;
+
+  // Invoked after every controller evaluation round with the deployment id
+  // — the fault::Invariants checker hooks in here.
+  void set_round_hook(std::function<void(DeploymentId)> hook) {
+    round_hook_ = std::move(hook);
+  }
 
   sim::Simulation& simulation() { return *sim_; }
   net::Network& network() { return *network_; }
@@ -164,14 +201,16 @@ class Orchestrator {
   std::unique_ptr<sched::NetworkView> make_view() const;
   void controller_evaluate(DeploymentId id);
   // Executes a move; `target` may equal the current node (pure restart).
-  void execute_move(DeploymentId id, app::ComponentId component, net::NodeId target);
+  void execute_move(DeploymentId id, app::ComponentId component, net::NodeId target,
+                    MoveReason reason);
   // Post-failure placement retry loop (see fail_node). `went_down` is when
   // the component dropped (journalled downtime spans the whole outage).
   void recover_component(DeploymentId id, app::ComponentId component,
                          net::NodeId failed_node, sim::Time went_down);
   // Appends to migrations_ and journals the matching MigrationCompleted.
   void note_migration_done(DeploymentId id, app::ComponentId component,
-                           net::NodeId from, net::NodeId to, sim::Time went_down);
+                           net::NodeId from, net::NodeId to, sim::Time went_down,
+                           MoveReason reason);
 
   sim::Simulation* sim_;
   net::Network* network_;
@@ -183,6 +222,8 @@ class Orchestrator {
   OrchestratorConfig config_;
   std::vector<std::unique_ptr<Deployment>> deployments_;
   std::vector<MigrationEvent> migrations_;
+  std::set<net::NodeId> failed_nodes_;
+  std::function<void(DeploymentId)> round_hook_;
 };
 
 }  // namespace bass::core

@@ -1,0 +1,66 @@
+#include "fault/injector.h"
+
+#include "util/logging.h"
+
+namespace bass::fault {
+
+Injector::Injector(core::Orchestrator& orchestrator, net::Network& network,
+                   monitor::NetMonitor* monitor, obs::Recorder* recorder)
+    : orchestrator_(&orchestrator),
+      network_(&network),
+      monitor_(monitor),
+      recorder_(recorder) {
+  if (recorder_ != nullptr) {
+    m_injections_ = &recorder_->metrics().counter("fault.injections");
+  }
+}
+
+void Injector::arm(FaultPlan plan) {
+  if (armed_) {
+    util::log_warn() << "fault injector armed twice; ignoring second plan";
+    return;
+  }
+  armed_ = true;
+  plan_ = std::move(plan);
+  sim::Simulation& sim = orchestrator_->simulation();
+  for (const FaultAction& action : plan_.actions) {
+    sim.schedule_at(action.at, [this, action] { apply(action); });
+  }
+  util::log_info() << "fault injector armed with " << plan_.size() << " actions";
+}
+
+void Injector::apply(const FaultAction& action) {
+  double value = 0.0;
+  switch (action.kind) {
+    case FaultKind::kNodeCrash:
+      if (orchestrator_->node_failed(action.node)) return;  // already down
+      orchestrator_->fail_node(action.node, action.detection_delay);
+      break;
+    case FaultKind::kNodeRecover:
+      orchestrator_->recover_node(action.node);
+      break;
+    case FaultKind::kLinkDown:
+      network_->set_link_down_between(action.node, action.peer, true);
+      break;
+    case FaultKind::kLinkUp:
+      network_->set_link_down_between(action.node, action.peer, false);
+      break;
+    case FaultKind::kProbeLoss:
+      if (monitor_ == nullptr) {
+        util::log_warn() << "probe_loss fault with no net-monitor attached";
+        return;
+      }
+      monitor_->set_probe_loss(action.rate, action.seed);
+      value = action.rate;
+      break;
+  }
+  ++injected_;
+  if (recorder_ != nullptr) {
+    m_injections_->inc();
+    recorder_->record(obs::FaultInjected{orchestrator_->simulation().now(),
+                                         fault_kind_name(action.kind), action.node,
+                                         action.peer, value});
+  }
+}
+
+}  // namespace bass::fault

@@ -1,0 +1,55 @@
+// fault::Injector — replays a FaultPlan on the sim clock. Each action is
+// scheduled as its own sim event at arm() time; applying one drives the
+// matching subsystem directly:
+//
+//  * node_crash  -> Orchestrator::fail_node (cordon + drop + failover)
+//  * node_recover-> Orchestrator::recover_node (uncordon + schedulable)
+//  * link_down   -> Network::set_link_down_between(..., true) — a capacity
+//                   overlay, so trace playback underneath keeps running and
+//                   the latest trace value resurfaces on link_up
+//  * link_up     -> Network::set_link_down_between(..., false)
+//  * probe_loss  -> NetMonitor::set_probe_loss
+//
+// Every applied action journals an obs::FaultInjected event, which is what
+// the determinism check diffs across runs of the same seed.
+#pragma once
+
+#include "core/orchestrator.h"
+#include "fault/plan.h"
+#include "monitor/net_monitor.h"
+#include "net/network.h"
+#include "obs/recorder.h"
+
+namespace bass::fault {
+
+class Injector {
+ public:
+  // `monitor` and `recorder` may be null (probe_loss actions are skipped
+  // with a warning / events are not journalled).
+  Injector(core::Orchestrator& orchestrator, net::Network& network,
+           monitor::NetMonitor* monitor, obs::Recorder* recorder);
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  // Schedules every action of the plan. Call once, before Simulation::run;
+  // actions whose time already passed fire on the next event drain.
+  void arm(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  // Actions applied so far.
+  int injected() const { return injected_; }
+
+ private:
+  void apply(const FaultAction& action);
+
+  core::Orchestrator* orchestrator_;
+  net::Network* network_;
+  monitor::NetMonitor* monitor_;
+  obs::Recorder* recorder_;
+  obs::Counter* m_injections_ = nullptr;
+  FaultPlan plan_;
+  int injected_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace bass::fault

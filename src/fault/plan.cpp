@@ -1,0 +1,299 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+
+namespace bass::fault {
+
+namespace {
+
+util::Error err(const std::string& message) { return util::make_error(message); }
+
+std::string section_label(const util::IniSection& section) {
+  std::string label = "[";
+  for (std::size_t i = 0; i < section.heading.size(); ++i) {
+    if (i > 0) label += ' ';
+    label += section.heading[i];
+  }
+  return label + "]";
+}
+
+// Resolves heading word `index` to a node, or errors naming the section.
+util::Expected<net::NodeId> node_at(const util::IniSection& section,
+                                    std::size_t index, const NodeResolver& resolve) {
+  if (index >= section.heading.size()) {
+    return err(section_label(section) + ": missing node name");
+  }
+  const net::NodeId id = resolve(section.heading[index]);
+  if (id == net::kInvalidNode) {
+    return err(section_label(section) + ": unknown node '" +
+               section.heading[index] + "'");
+  }
+  return id;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kNodeRecover: return "node_recover";
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kProbeLoss: return "probe_loss";
+  }
+  return "?";
+}
+
+void FaultPlan::sort() {
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+}
+
+void FaultPlan::merge(FaultPlan other) {
+  actions.insert(actions.end(), std::make_move_iterator(other.actions.begin()),
+                 std::make_move_iterator(other.actions.end()));
+}
+
+util::Expected<FaultPlan> parse_fault_plan(const util::IniFile& ini,
+                                           const NodeResolver& resolve,
+                                           const net::Topology& topology) {
+  FaultPlan plan;
+  for (const auto* section : ini.of_kind("fault")) {
+    if (section->heading.size() < 2) {
+      return err("[fault] needs an action (node_crash, node_recover, link_down, "
+                 "link_up, link_flap, partition, probe_loss)");
+    }
+    const std::string& action = section->heading[1];
+    const sim::Time at = sim::seconds_f(section->number_or("at_s", 0));
+    const sim::Duration duration =
+        sim::seconds_f(section->number_or("duration_s", 0));
+
+    if (action == "node_crash" || action == "node_recover") {
+      auto node = node_at(*section, 2, resolve);
+      if (!node.ok()) return err(node.error());
+      FaultAction a;
+      a.at = at;
+      a.kind = action == "node_crash" ? FaultKind::kNodeCrash : FaultKind::kNodeRecover;
+      a.node = node.value();
+      a.detection_delay = sim::seconds_f(section->number_or("detection_delay_s", 10));
+      plan.actions.push_back(a);
+      if (a.kind == FaultKind::kNodeCrash && duration > 0) {
+        FaultAction up = a;
+        up.kind = FaultKind::kNodeRecover;
+        up.at = at + duration;
+        plan.actions.push_back(up);
+      }
+    } else if (action == "link_down" || action == "link_up") {
+      auto a_node = node_at(*section, 2, resolve);
+      auto b_node = node_at(*section, 3, resolve);
+      if (!a_node.ok()) return err(a_node.error());
+      if (!b_node.ok()) return err(b_node.error());
+      if (!topology.link_between(a_node.value(), b_node.value())) {
+        return err(section_label(*section) + ": no such link");
+      }
+      FaultAction a;
+      a.at = at;
+      a.kind = action == "link_down" ? FaultKind::kLinkDown : FaultKind::kLinkUp;
+      a.node = a_node.value();
+      a.peer = b_node.value();
+      plan.actions.push_back(a);
+      if (a.kind == FaultKind::kLinkDown && duration > 0) {
+        FaultAction up = a;
+        up.kind = FaultKind::kLinkUp;
+        up.at = at + duration;
+        plan.actions.push_back(up);
+      }
+    } else if (action == "link_flap") {
+      // Periodic down/up cycles with a duty factor: the link is DOWN for
+      // `duty` of each period — the mesh-radio flap pattern real community
+      // deployments report.
+      auto a_node = node_at(*section, 2, resolve);
+      auto b_node = node_at(*section, 3, resolve);
+      if (!a_node.ok()) return err(a_node.error());
+      if (!b_node.ok()) return err(b_node.error());
+      if (!topology.link_between(a_node.value(), b_node.value())) {
+        return err(section_label(*section) + ": no such link");
+      }
+      const sim::Time start = sim::seconds_f(section->number_or("start_s", 0));
+      const sim::Time end = sim::seconds_f(section->number_or("end_s", 0));
+      const sim::Duration period = sim::seconds_f(section->number_or("period_s", 60));
+      const double duty = section->number_or("duty", 0.5);
+      if (period <= 0 || end <= start) {
+        return err(section_label(*section) + ": needs period_s > 0 and end_s > start_s");
+      }
+      if (duty <= 0 || duty >= 1) {
+        return err(section_label(*section) + ": duty must be in (0, 1)");
+      }
+      const sim::Duration down_for =
+          std::max<sim::Duration>(static_cast<sim::Duration>(duty * static_cast<double>(period)), 1);
+      for (sim::Time t = start; t < end; t += period) {
+        FaultAction down;
+        down.at = t;
+        down.kind = FaultKind::kLinkDown;
+        down.node = a_node.value();
+        down.peer = b_node.value();
+        plan.actions.push_back(down);
+        FaultAction up = down;
+        up.kind = FaultKind::kLinkUp;
+        up.at = std::min<sim::Time>(t + down_for, end);
+        plan.actions.push_back(up);
+      }
+    } else if (action == "partition") {
+      // The heading names one side of the cut; every topology link crossing
+      // the cut goes down, isolating the named set from the rest of the
+      // mesh while every node keeps computing — the real 802.11 partition
+      // the paper scopes out (§3.1) and fail_node deliberately does NOT
+      // model.
+      if (section->heading.size() < 3) {
+        return err(section_label(*section) + ": names no member nodes");
+      }
+      std::vector<net::NodeId> members;
+      for (std::size_t i = 2; i < section->heading.size(); ++i) {
+        auto node = node_at(*section, i, resolve);
+        if (!node.ok()) return err(node.error());
+        members.push_back(node.value());
+      }
+      auto in_cut = [&](net::NodeId n) {
+        return std::find(members.begin(), members.end(), n) != members.end();
+      };
+      bool crossed = false;
+      for (const net::Link& link : topology.links()) {
+        // One action per undirected pair; the injector downs both directions.
+        if (link.src > link.dst) continue;
+        if (in_cut(link.src) == in_cut(link.dst)) continue;
+        crossed = true;
+        FaultAction down;
+        down.at = at;
+        down.kind = FaultKind::kLinkDown;
+        down.node = link.src;
+        down.peer = link.dst;
+        plan.actions.push_back(down);
+        if (duration > 0) {
+          FaultAction up = down;
+          up.kind = FaultKind::kLinkUp;
+          up.at = at + duration;
+          plan.actions.push_back(up);
+        }
+      }
+      if (!crossed) {
+        return err(section_label(*section) + ": cut-set crosses no links "
+                   "(members cover the whole mesh or nothing)");
+      }
+    } else if (action == "probe_loss") {
+      FaultAction a;
+      a.at = at;
+      a.kind = FaultKind::kProbeLoss;
+      a.rate = section->number_or("rate", 0.1);
+      a.seed = static_cast<std::uint64_t>(section->number_or("seed", 1));
+      if (a.rate < 0 || a.rate > 1) {
+        return err(section_label(*section) + ": rate must be in [0, 1]");
+      }
+      plan.actions.push_back(a);
+      if (duration > 0) {
+        FaultAction off = a;
+        off.rate = 0.0;
+        off.at = at + duration;
+        plan.actions.push_back(off);
+      }
+    } else {
+      return err(section_label(*section) + ": unknown fault action '" + action + "'");
+    }
+  }
+  plan.sort();
+  return plan;
+}
+
+ChaosParams parse_chaos_params(const util::IniSection& section,
+                               sim::Duration default_horizon) {
+  ChaosParams p;
+  p.seed = static_cast<std::uint64_t>(section.number_or("seed", 1));
+  p.crash_mtbf_s = section.number_or("crash_mtbf_s", 300);
+  p.mttr_s = section.number_or("mttr_s", 120);
+  p.crash_detection_s = section.number_or("crash_detection_s", 10);
+  p.flap_mtbf_s = section.number_or("flap_mtbf_s", 120);
+  p.flap_down_s = section.number_or("flap_down_s", 30);
+  p.probe_loss = section.number_or("probe_loss", 0.0);
+  const double horizon_s = section.number_or("horizon_s", 0);
+  p.horizon = horizon_s > 0 ? sim::seconds_f(horizon_s) : default_horizon;
+  return p;
+}
+
+FaultPlan generate_chaos_plan(const ChaosParams& params,
+                              const std::vector<net::NodeId>& crashable,
+                              const std::vector<std::pair<net::NodeId, net::NodeId>>& links,
+                              util::Rng& rng) {
+  FaultPlan plan;
+  if (params.probe_loss > 0) {
+    FaultAction a;
+    a.at = 0;
+    a.kind = FaultKind::kProbeLoss;
+    a.rate = std::min(params.probe_loss, 1.0);
+    a.seed = rng.engine()();  // derived, so the plan rng stays the only input
+    plan.actions.push_back(a);
+  }
+
+  // Crash/repair timeline: crashes arrive as a Poisson process over the UP
+  // crashable nodes; repairs follow exponential MTTR. At least one
+  // crashable node is always left standing so recovery has a landing zone.
+  if (params.crash_mtbf_s > 0 && crashable.size() >= 2) {
+    std::vector<sim::Time> down_until(crashable.size(), -1);
+    double t_s = rng.exponential(params.crash_mtbf_s);
+    while (sim::seconds_f(t_s) < params.horizon) {
+      const sim::Time now = sim::seconds_f(t_s);
+      std::vector<std::size_t> up;
+      for (std::size_t i = 0; i < crashable.size(); ++i) {
+        if (down_until[i] < now) up.push_back(i);
+      }
+      if (up.size() >= 2) {
+        const std::size_t pick = up[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(up.size()) - 1))];
+        const sim::Duration outage =
+            sim::seconds_f(std::max(rng.exponential(params.mttr_s), 1.0));
+        FaultAction crash;
+        crash.at = now;
+        crash.kind = FaultKind::kNodeCrash;
+        crash.node = crashable[pick];
+        crash.detection_delay = sim::seconds_f(params.crash_detection_s);
+        plan.actions.push_back(crash);
+        FaultAction recover = crash;
+        recover.kind = FaultKind::kNodeRecover;
+        recover.at = now + outage;
+        plan.actions.push_back(recover);
+        down_until[pick] = recover.at;
+      }
+      t_s += rng.exponential(params.crash_mtbf_s);
+    }
+  }
+
+  // Link flaps: independent Poisson onsets over all undirected links; a
+  // link already down absorbs the draw (no stacked outages).
+  if (params.flap_mtbf_s > 0 && !links.empty()) {
+    std::vector<sim::Time> up_at(links.size(), -1);
+    double t_s = rng.exponential(params.flap_mtbf_s);
+    while (sim::seconds_f(t_s) < params.horizon) {
+      const sim::Time now = sim::seconds_f(t_s);
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(links.size()) - 1));
+      const double outage_s = std::max(rng.exponential(params.flap_down_s), 1.0);
+      if (up_at[pick] < now) {
+        FaultAction down;
+        down.at = now;
+        down.kind = FaultKind::kLinkDown;
+        down.node = links[pick].first;
+        down.peer = links[pick].second;
+        plan.actions.push_back(down);
+        FaultAction up = down;
+        up.kind = FaultKind::kLinkUp;
+        up.at = now + sim::seconds_f(outage_s);
+        plan.actions.push_back(up);
+        up_at[pick] = up.at;
+      }
+      t_s += rng.exponential(params.flap_mtbf_s);
+    }
+  }
+
+  plan.sort();
+  return plan;
+}
+
+}  // namespace bass::fault

@@ -1,0 +1,97 @@
+// Fault plans: deterministic timelines of mesh misbehaviour. A plan is a
+// sorted list of actions the Injector replays on the sim clock — node
+// crashes/recoveries, link outages, and net-monitor probe loss. Plans come
+// from two sources, freely combined:
+//
+//  * scripted `[fault ...]` scenario sections (absolute times, flap
+//    schedules, partitions — see the grammar in scenario/scenario.h), and
+//  * a seeded `[chaos]` generator that draws crash/repair and link-flap
+//    timelines from util::Rng, so every chaos run replays exactly per seed.
+//
+// Parsing and generation are pure (no side effects on the world); the
+// Injector owns execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/topology.h"
+#include "net/types.h"
+#include "sim/time.h"
+#include "util/expected.h"
+#include "util/ini.h"
+#include "util/rng.h"
+
+namespace bass::fault {
+
+enum class FaultKind {
+  kNodeCrash,    // abrupt compute failure (Orchestrator::fail_node)
+  kNodeRecover,  // board replaced / rebooted (Orchestrator::recover_node)
+  kLinkDown,     // both directions of the (a, b) link forced to zero
+  kLinkUp,       // overlay lifted; trace playback resumes where it left off
+  kProbeLoss,    // net-monitor probe results lost with probability `rate`
+};
+
+// Stable snake_case tag used in journal events and scenario sections.
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultAction {
+  sim::Time at = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  net::NodeId node = net::kInvalidNode;    // node faults
+  net::NodeId peer = net::kInvalidNode;    // link faults: (node, peer) endpoints
+  sim::Duration detection_delay = sim::seconds(10);  // node_crash only
+  double rate = 0.0;                       // probe_loss only
+  std::uint64_t seed = 1;                  // probe_loss rng seed
+};
+
+struct FaultPlan {
+  std::vector<FaultAction> actions;  // sorted by `at`, insertion-stable
+
+  bool empty() const { return actions.empty(); }
+  std::size_t size() const { return actions.size(); }
+  // Stable sort by time: actions scripted earlier in the file win ties.
+  void sort();
+  // Appends another plan's actions (caller re-sorts).
+  void merge(FaultPlan other);
+};
+
+// Seeded chaos profile (`[chaos]` scenario section). Rates are mean times
+// of exponential draws; 0 disables that fault class.
+struct ChaosParams {
+  std::uint64_t seed = 1;
+  double crash_mtbf_s = 300;  // mean time between node crashes
+  double mttr_s = 120;        // mean crash repair time
+  double crash_detection_s = 10;
+  double flap_mtbf_s = 120;   // mean time between link-outage onsets
+  double flap_down_s = 30;    // mean link outage length
+  double probe_loss = 0.0;    // probability a probe's result is lost
+  sim::Duration horizon = sim::minutes(10);  // no new faults past this
+};
+
+// Resolves a scenario node name to its NodeId (kInvalidNode when unknown).
+using NodeResolver = std::function<net::NodeId(const std::string&)>;
+
+// Parses every `[fault ...]` section of a scenario file into one plan.
+// Flaps and partitions are expanded into link_down/link_up pairs here, so
+// the Injector only ever sees primitive actions. Errors name the section.
+util::Expected<FaultPlan> parse_fault_plan(const util::IniFile& ini,
+                                           const NodeResolver& resolve,
+                                           const net::Topology& topology);
+
+// Reads a `[chaos]` section; `default_horizon` is the scenario run length.
+ChaosParams parse_chaos_params(const util::IniSection& section,
+                               sim::Duration default_horizon);
+
+// Draws a randomized plan from the profile. `crashable` nodes take crashes
+// (at least one is always left standing); undirected `links` (as endpoint
+// pairs) take flaps. Same params + same rng state => identical plan.
+FaultPlan generate_chaos_plan(const ChaosParams& params,
+                              const std::vector<net::NodeId>& crashable,
+                              const std::vector<std::pair<net::NodeId, net::NodeId>>& links,
+                              util::Rng& rng);
+
+}  // namespace bass::fault

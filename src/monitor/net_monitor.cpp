@@ -65,6 +65,7 @@ void NetMonitor::set_recorder(obs::Recorder* recorder) {
     m_full_probes_ = nullptr;
     m_headroom_probes_ = nullptr;
     m_violations_ = nullptr;
+    m_probes_dropped_ = nullptr;
     return;
   }
   auto& metrics = recorder->metrics();
@@ -72,6 +73,14 @@ void NetMonitor::set_recorder(obs::Recorder* recorder) {
   m_full_probes_ = &metrics.counter("monitor.probes", {{"kind", "full"}});
   m_headroom_probes_ = &metrics.counter("monitor.probes", {{"kind", "headroom"}});
   m_violations_ = &metrics.counter("monitor.headroom_violations");
+  m_probes_dropped_ = &metrics.counter("monitor.probes_dropped");
+}
+
+void NetMonitor::set_probe_loss(double rate, std::uint64_t seed) {
+  probe_loss_rate_ = std::clamp(rate, 0.0, 1.0);
+  if (probe_loss_rate_ > 0 && loss_rng_ == nullptr) {
+    loss_rng_ = std::make_unique<util::Rng>(seed);
+  }
 }
 
 net::Bps NetMonitor::cached_capacity(net::LinkId link) const {
@@ -142,6 +151,24 @@ void NetMonitor::launch_probe(net::LinkId link, net::Bps demand, bool is_full,
         network_->close_stream(stream);
         const std::int64_t delivered = network_->take_tag_bytes(tag);
         probe_bytes_ += delivered;
+        // Injected probe loss: the traffic was spent but the result never
+        // reached the monitor — cache and headroom state stay stale.
+        if (probe_loss_rate_ > 0 && loss_rng_ != nullptr &&
+            loss_rng_->chance(probe_loss_rate_)) {
+          LinkState& lost = links_[static_cast<std::size_t>(link)];
+          lost.probing = false;
+          ++probes_dropped_;
+          if (recorder_ != nullptr) {
+            m_probes_dropped_->inc();
+            m_probe_bytes_->add(delivered);
+            const auto& dropped_link = network_->topology().link(link);
+            recorder_->record(obs::FaultInjected{
+                network_->simulation().now(), "probe_lost", dropped_link.src,
+                dropped_link.dst, probe_loss_rate_});
+          }
+          if (done) done(lost.cached_capacity);
+          return;
+        }
         const net::Bps measured = static_cast<net::Bps>(
             static_cast<double>(delivered) * 8e6 /
             static_cast<double>(config_.probe_duration));

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "obs/recorder.h"
 #include "sched/network_view.h"
 #include "sim/simulation.h"
+#include "util/rng.h"
 
 namespace bass::monitor {
 
@@ -85,6 +87,14 @@ class NetMonitor {
   // Floods the link now; `done` receives the new capacity estimate.
   void full_probe(net::LinkId link, std::function<void(net::Bps)> done = {});
 
+  // ---- Fault injection ----
+  // Each finished probe's RESULT is lost with probability `rate`: the probe
+  // traffic is still spent (overhead stays real), but the cache and
+  // headroom state keep their stale values — a lossy mesh eating the
+  // monitor's report packets. 0 disables. Deterministic per seed.
+  void set_probe_loss(double rate, std::uint64_t seed = 0xBA55);
+  int probes_dropped() const { return probes_dropped_; }
+
   // ---- Overhead accounting (§6.3.4) ----
   std::int64_t probe_bytes_sent() const { return probe_bytes_; }
   int full_probe_count() const { return full_probes_; }
@@ -113,12 +123,16 @@ class NetMonitor {
   obs::Counter* m_full_probes_ = nullptr;
   obs::Counter* m_headroom_probes_ = nullptr;
   obs::Counter* m_violations_ = nullptr;
+  obs::Counter* m_probes_dropped_ = nullptr;
   sim::EventId periodic_ = sim::kInvalidEvent;
   sim::EventId refresh_ = sim::kInvalidEvent;
   bool started_ = false;
   std::int64_t probe_bytes_ = 0;
   int full_probes_ = 0;
   int headroom_probes_ = 0;
+  double probe_loss_rate_ = 0.0;
+  std::unique_ptr<util::Rng> loss_rng_;
+  int probes_dropped_ = 0;
   net::Tag next_probe_tag_;
 };
 

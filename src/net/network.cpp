@@ -33,10 +33,13 @@ Network::Network(sim::Simulation& sim, Topology topology, NetworkConfig config)
       link_entities_(static_cast<std::size_t>(topology_.link_count())),
       link_visit_(static_cast<std::size_t>(topology_.link_count()), 0),
       capacities_(static_cast<std::size_t>(topology_.link_count()), 0.0),
-      link_allocated_(static_cast<std::size_t>(topology_.link_count()), 0.0) {
+      link_allocated_(static_cast<std::size_t>(topology_.link_count()), 0.0),
+      nominal_capacity_(static_cast<std::size_t>(topology_.link_count()), 0),
+      link_down_(static_cast<std::size_t>(topology_.link_count()), 0) {
   for (int l = 0; l < topology_.link_count(); ++l) {
     capacities_[static_cast<std::size_t>(l)] =
         static_cast<double>(topology_.link(l).capacity);
+    nominal_capacity_[static_cast<std::size_t>(l)] = topology_.link(l).capacity;
   }
 }
 
@@ -67,7 +70,7 @@ void Network::set_recorder(obs::Recorder* recorder) {
   m_alloc_pass_us_ = &metrics.timer_us("net.alloc_pass_us");
 }
 
-void Network::set_link_capacity(LinkId link, Bps capacity) {
+void Network::apply_capacity(LinkId link, Bps capacity) {
   if (topology_.link(link).capacity == capacity) return;
   if (recorder_ != nullptr) {
     recorder_->record(obs::LinkCapacityChanged{
@@ -88,10 +91,28 @@ void Network::set_link_capacity(LinkId link, Bps capacity) {
   }
 }
 
+void Network::set_link_capacity(LinkId link, Bps capacity) {
+  nominal_capacity_[static_cast<std::size_t>(link)] = std::max<Bps>(capacity, 0);
+  if (link_is_down(link)) return;  // remembered; applied on link_up
+  apply_capacity(link, capacity);
+}
+
 void Network::set_link_capacity_between(NodeId a, NodeId b, Bps capacity) {
   BatchUpdate batch(*this);
   if (auto ab = topology_.link_between(a, b)) set_link_capacity(*ab, capacity);
   if (auto ba = topology_.link_between(b, a)) set_link_capacity(*ba, capacity);
+}
+
+void Network::set_link_down(LinkId link, bool down) {
+  if (link_is_down(link) == down) return;
+  link_down_[static_cast<std::size_t>(link)] = down ? 1 : 0;
+  apply_capacity(link, down ? 0 : nominal_capacity_[static_cast<std::size_t>(link)]);
+}
+
+void Network::set_link_down_between(NodeId a, NodeId b, bool down) {
+  BatchUpdate batch(*this);
+  if (auto ab = topology_.link_between(a, b)) set_link_down(*ab, down);
+  if (auto ba = topology_.link_between(b, a)) set_link_down(*ba, down);
 }
 
 Bps Network::link_allocated(LinkId link) const {

@@ -89,10 +89,24 @@ class Network {
   }
 
   // ---- Capacity control (driven by the trace player / experiments) ----
+  // While a link is forced down (fault injection) the new capacity is only
+  // remembered as the nominal value, so trace playback layered on top keeps
+  // updating and the latest trace value takes effect on link_up.
   void set_link_capacity(LinkId link, Bps capacity);
   // Convenience: sets both directions of the (a,b) link.
   void set_link_capacity_between(NodeId a, NodeId b, Bps capacity);
   Bps link_capacity(LinkId link) const { return topology_.link(link).capacity; }
+
+  // ---- Fault overlay ----
+  // Forces a link's effective capacity to zero (down) or restores the
+  // nominal capacity (up). Orthogonal to set_link_capacity: the overlay
+  // shadows capacity writes instead of discarding them.
+  void set_link_down(LinkId link, bool down);
+  // Both directions of the (a,b) link.
+  void set_link_down_between(NodeId a, NodeId b, bool down);
+  bool link_is_down(LinkId link) const {
+    return link_down_[static_cast<std::size_t>(link)] != 0;
+  }
   // Current sum of flow rates crossing the link (refreshed on reallocation).
   Bps link_allocated(LinkId link) const;
 
@@ -264,8 +278,14 @@ class Network {
   mutable std::vector<std::uint32_t> entity_visit_;
   mutable std::uint32_t visit_stamp_ = 0;
 
+  // Applies an effective-capacity change (journal + topology + mirror +
+  // dirty seed + reallocate); set_link_capacity/set_link_down route here.
+  void apply_capacity(LinkId link, Bps capacity);
+
   std::vector<double> capacities_;  // mirror of topology capacities
   std::vector<double> link_allocated_;
+  std::vector<Bps> nominal_capacity_;     // capacity a downed link returns to
+  std::vector<std::uint8_t> link_down_;   // fault overlay flags
   std::unordered_map<Tag, double> tag_bytes_window_;
   std::unordered_map<Tag, double> tag_bytes_total_;
 

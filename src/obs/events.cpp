@@ -41,6 +41,8 @@ struct NameVisitor {
   const char* operator()(const ControllerRound&) const { return "controller_round"; }
   const char* operator()(const ReallocationSolved&) const { return "reallocation_solved"; }
   const char* operator()(const LinkCapacityChanged&) const { return "link_capacity_changed"; }
+  const char* operator()(const FaultInjected&) const { return "fault_injected"; }
+  const char* operator()(const InvariantViolation&) const { return "invariant_violation"; }
 };
 
 struct JsonVisitor {
@@ -68,15 +70,16 @@ struct JsonVisitor {
   }
   void operator()(const MigrationStarted& e) const {
     out += util::str_format(
-        ",\"deployment\":%d,\"component\":%d,\"from\":%d,\"to\":%d",
-        e.deployment, e.component, e.from, e.to);
+        ",\"deployment\":%d,\"component\":%d,\"from\":%d,\"to\":%d,"
+        "\"reason\":\"%s\"",
+        e.deployment, e.component, e.from, e.to, e.reason);
   }
   void operator()(const MigrationCompleted& e) const {
     out += util::str_format(
         ",\"deployment\":%d,\"component\":%d,\"from\":%d,\"to\":%d,"
-        "\"downtime_us\":%lld",
+        "\"downtime_us\":%lld,\"reason\":\"%s\"",
         e.deployment, e.component, e.from, e.to,
-        static_cast<long long>(e.downtime));
+        static_cast<long long>(e.downtime), e.reason);
   }
   void operator()(const ControllerRound& e) const {
     out += util::str_format(
@@ -93,6 +96,14 @@ struct JsonVisitor {
     out += util::str_format(",\"link\":%d,\"old_bps\":%lld,\"new_bps\":%lld",
                             e.link, static_cast<long long>(e.old_bps),
                             static_cast<long long>(e.new_bps));
+  }
+  void operator()(const FaultInjected& e) const {
+    out += util::str_format(",\"kind\":\"%s\",\"node\":%d,\"peer\":%d,\"value\":%g",
+                            e.kind, e.node, e.peer, e.value);
+  }
+  void operator()(const InvariantViolation& e) const {
+    out += util::str_format(",\"name\":\"%s\",\"detail\":", e.name);
+    append_escaped(e.detail, out);
   }
 };
 

@@ -49,13 +49,15 @@ struct HeadroomViolation {
   net::Bps delivered_bps = 0;
 };
 
-// A component went down for a move (restart outage begins).
+// A component went down for a move (restart outage begins). `reason` is a
+// static move_reason_name() literal ("controller", "failover", ...).
 struct MigrationStarted {
   sim::Time at = 0;
   int deployment = -1;
   int component = -1;
   net::NodeId from = net::kInvalidNode;
   net::NodeId to = net::kInvalidNode;  // requested target (may be revised)
+  const char* reason = "";
 };
 
 // The moved component came back up. `downtime` spans the whole outage
@@ -68,6 +70,7 @@ struct MigrationCompleted {
   net::NodeId from = net::kInvalidNode;
   net::NodeId to = net::kInvalidNode;  // where it actually landed
   sim::Duration downtime = 0;          // 0 when the outage start is unknown
+  const char* reason = "";             // matches the MigrationStarted reason
 };
 
 // One bandwidth-controller evaluation round that found work (Table 1 rows).
@@ -94,9 +97,29 @@ struct LinkCapacityChanged {
   net::Bps new_bps = 0;
 };
 
+// The fault injector applied one action from its plan. `kind` is a static
+// fault_kind_name() literal; `peer` is set for link faults, `value` carries
+// the probe-loss rate (0 otherwise).
+struct FaultInjected {
+  sim::Time at = 0;
+  const char* kind = "";
+  net::NodeId node = net::kInvalidNode;
+  net::NodeId peer = net::kInvalidNode;
+  double value = 0.0;
+};
+
+// The invariant checker caught a safety-property violation. `name` is a
+// static invariant identifier; `detail` is human-readable context.
+struct InvariantViolation {
+  sim::Time at = 0;
+  const char* name = "";
+  std::string detail;
+};
+
 using Event = std::variant<ScheduleDecision, ProbeCompleted, HeadroomViolation,
                            MigrationStarted, MigrationCompleted, ControllerRound,
-                           ReallocationSolved, LinkCapacityChanged>;
+                           ReallocationSolved, LinkCapacityChanged, FaultInjected,
+                           InvariantViolation>;
 
 // Sim-time timestamp of any event.
 sim::Time event_time(const Event& event);

@@ -16,6 +16,7 @@ constexpr int kTidScheduler = 1;
 constexpr int kTidController = 2;
 constexpr int kTidMonitor = 3;
 constexpr int kTidNetwork = 4;
+constexpr int kTidFault = 5;
 
 struct TraceShape {
   int tid = kTidNetwork;
@@ -60,6 +61,15 @@ struct TraceVisitor {
   }
   TraceShape operator()(const LinkCapacityChanged& e) const {
     return {kTidNetwork, e.at, -1, util::str_format("capacity link%d", e.link)};
+  }
+  TraceShape operator()(const FaultInjected& e) const {
+    return {kTidFault, e.at, -1,
+            e.peer == net::kInvalidNode
+                ? util::str_format("%s n%d", e.kind, e.node)
+                : util::str_format("%s n%d-n%d", e.kind, e.node, e.peer)};
+  }
+  TraceShape operator()(const InvariantViolation& e) const {
+    return {kTidFault, e.at, -1, util::str_format("INVARIANT %s", e.name)};
   }
 };
 
@@ -153,6 +163,7 @@ std::string EventJournal::to_trace() const {
       {kTidController, "controller"},
       {kTidMonitor, "net-monitor"},
       {kTidNetwork, "network"},
+      {kTidFault, "fault"},
   };
   out += util::str_format(
       "    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"

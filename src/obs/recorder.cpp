@@ -15,8 +15,11 @@ Recorder::Recorder(RecorderConfig config)
   const Event samples[] = {
       ScheduleDecision{}, ProbeCompleted{},     HeadroomViolation{},
       MigrationStarted{}, MigrationCompleted{}, ControllerRound{},
-      ReallocationSolved{}, LinkCapacityChanged{},
+      ReallocationSolved{}, LinkCapacityChanged{}, FaultInjected{},
+      InvariantViolation{},
   };
+  static_assert(std::variant_size_v<Event> == sizeof(samples) / sizeof(samples[0]),
+                "register a counter sample for every event alternative");
   type_counters_.resize(std::variant_size_v<Event>, nullptr);
   for (const Event& e : samples) {
     type_counters_[e.index()] =

@@ -267,6 +267,37 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(const util::IniFile
     }
   }
 
+  // ---- Faults & invariants ----
+  // The continuous safety checker is on by default — every scenario run
+  // doubles as a robustness test. [invariants] enabled = false opts out.
+  const auto* inv = ini.first_of_kind("invariants");
+  if (inv == nullptr || inv->flag_or("enabled", true)) {
+    s->invariants_ = std::make_unique<fault::Invariants>(
+        *s->orch_, s->recorder_.get());
+    s->invariants_->attach();
+  }
+  auto scripted = fault::parse_fault_plan(
+      ini, [&s](const std::string& name) { return s->node_id(name); },
+      s->network_->topology());
+  if (!scripted.ok()) return err(scripted.error());
+  fault::FaultPlan plan = scripted.take();
+  if (const auto* chaos = ini.first_of_kind("chaos")) {
+    const fault::ChaosParams cp = fault::parse_chaos_params(*chaos, s->duration_);
+    std::vector<std::pair<net::NodeId, net::NodeId>> links;
+    for (const net::Link& link : s->network_->topology().links()) {
+      if (link.src < link.dst) links.emplace_back(link.src, link.dst);
+    }
+    util::Rng chaos_rng(cp.seed);
+    plan.merge(fault::generate_chaos_plan(cp, s->cluster_.schedulable_nodes(),
+                                          links, chaos_rng));
+    plan.sort();
+  }
+  if (!plan.empty()) {
+    s->injector_ = std::make_unique<fault::Injector>(
+        *s->orch_, *s->network_, s->monitor_.get(), s->recorder_.get());
+    s->injector_->arm(std::move(plan));
+  }
+
   // ---- Workload ----
   if (is_conference) {
     workload::VideoConferenceConfig cfg;
@@ -335,6 +366,13 @@ RunReport Scenario::run() {
   }
   report.migrations = orch_->migration_events().size();
   if (monitor_) report.probe_bytes = monitor_->probe_bytes_sent();
+  if (injector_) report.faults_injected = injector_->injected();
+  if (invariants_) {
+    // One final sweep after the drain, so end-of-run state is covered even
+    // when no controller round fired late.
+    invariants_->check_now();
+    report.invariant_violations = invariants_->violations();
+  }
   return report;
 }
 

@@ -27,6 +27,23 @@
 //                           client = alpha    max_in_flight = 0   seed = 1
 //   [run]                   duration_s = 600  dot = placement.dot
 //
+// Fault injection (all sections optional; see src/fault/ and DESIGN.md):
+//
+//   [fault node_crash alpha]   at_s = 120  detection_delay_s = 10
+//                              duration_s = 60   # auto node_recover
+//   [fault node_recover alpha] at_s = 180
+//   [fault link_down alpha beta] at_s = 60  duration_s = 30  # auto link_up
+//   [fault link_up alpha beta]   at_s = 90
+//   [fault link_flap alpha beta] start_s = 0  end_s = 300
+//                              period_s = 60  duty = 0.25
+//   [fault partition alpha beta] at_s = 100  duration_s = 50  # cut-set
+//   [fault probe_loss]         at_s = 0  rate = 0.2  seed = 7
+//   [chaos]                 seed = 1          crash_mtbf_s = 300
+//                           mttr_s = 120      crash_detection_s = 10
+//                           flap_mtbf_s = 120 flap_down_s = 30
+//                           probe_loss = 0.0  horizon_s = 0  # 0 = duration
+//   [invariants]            enabled = true    # continuous safety checker
+//
 // Conference scenarios replace [component]/[edge] with client groups — the
 // SFU app is built automatically:
 //
@@ -41,6 +58,8 @@
 #include <string>
 
 #include "core/orchestrator.h"
+#include "fault/injector.h"
+#include "fault/invariants.h"
 #include "obs/recorder.h"
 #include "profiler/online_profiler.h"
 #include "trace/player.h"
@@ -64,6 +83,9 @@ struct RunReport {
   // Always:
   std::size_t migrations = 0;
   std::int64_t probe_bytes = 0;
+  // Fault subsystem (0 when no faults / checker configured):
+  int faults_injected = 0;
+  int invariant_violations = 0;
 };
 
 class Scenario {
@@ -89,6 +111,10 @@ class Scenario {
   core::DeploymentId deployment() const { return deployment_; }
   net::NodeId node_id(const std::string& name) const;
   std::string node_name(net::NodeId id) const;
+  // Null unless the scenario configured faults / the checker (the checker
+  // is on by default; [invariants] enabled = false disables it).
+  fault::Injector* injector() { return injector_.get(); }
+  fault::Invariants* invariants() { return invariants_.get(); }
   sim::Duration duration() const { return duration_; }
   sim::Time now() const { return sim_.now(); }
   const std::string& dot_path() const { return dot_path_; }
@@ -103,6 +129,8 @@ class Scenario {
   std::unique_ptr<monitor::NetMonitor> monitor_;
   std::unique_ptr<core::Orchestrator> orch_;
   std::unique_ptr<trace::TracePlayer> player_;
+  std::unique_ptr<fault::Injector> injector_;
+  std::unique_ptr<fault::Invariants> invariants_;
   std::unique_ptr<profiler::OnlineProfiler> profiler_;
   std::unique_ptr<workload::RequestEngine> requests_;
   std::unique_ptr<workload::VideoConferenceEngine> conference_;

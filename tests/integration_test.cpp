@@ -9,6 +9,7 @@
 
 #include "app/catalog.h"
 #include "core/orchestrator.h"
+#include "fault/invariants.h"
 #include "profiler/online_profiler.h"
 #include "trace/citylab.h"
 #include "workload/pair_stream.h"
@@ -25,6 +26,7 @@ struct MeshRig {
   cluster::ClusterState cluster;
   std::unique_ptr<monitor::NetMonitor> netmon;
   std::unique_ptr<core::Orchestrator> orch;
+  std::unique_ptr<fault::Invariants> invariants;
   std::unique_ptr<trace::TracePlayer> player;
 
   explicit MeshRig(bool fades, std::uint64_t seed = 7) {
@@ -38,6 +40,10 @@ struct MeshRig {
     core::OrchestratorConfig cfg;
     cfg.restart_duration = sim::seconds(10);
     orch = std::make_unique<core::Orchestrator>(sim, *network, cluster, cfg);
+    // Continuous safety checking after every controller round; tests assert
+    // clean() so any invariant regression fails loudly.
+    invariants = std::make_unique<fault::Invariants>(*orch);
+    invariants->attach();
     netmon = std::make_unique<monitor::NetMonitor>(*network);
     orch->attach_monitor(netmon.get());
     player = std::make_unique<trace::TracePlayer>(*network);
@@ -86,6 +92,8 @@ TEST(Integration, SocialNetworkSurvivesTheTrace) {
   EXPECT_EQ(cpu, app::social_network_app(0.25).total_cpu_milli());
   // Control-plane node hosts nothing.
   EXPECT_EQ(rig.cluster.usage(0).cpu_milli, 0);
+  rig.invariants->check_now();
+  EXPECT_EQ(rig.invariants->violations(), 0);
 }
 
 TEST(Integration, MigrationsOnlyMoveUnpinnedComponents) {
@@ -121,6 +129,8 @@ TEST(Integration, MigrationsOnlyMoveUnpinnedComponents) {
     const auto cg = g.find("clients@node" + std::to_string(node));
     EXPECT_EQ(rig.orch->node_of(id, cg), node);
   }
+  rig.invariants->check_now();
+  EXPECT_EQ(rig.invariants->violations(), 0);
 }
 
 TEST(Integration, ProfilerAndControllerCoexist) {
@@ -158,6 +168,8 @@ TEST(Integration, ProfilerAndControllerCoexist) {
   }
   EXPECT_GT(bw, net::mbps(2));
   EXPECT_LT(bw, net::mbps(40));
+  rig.invariants->check_now();
+  EXPECT_EQ(rig.invariants->violations(), 0);
 }
 
 TEST(Integration, MonitorCacheConvergesToTraceReality) {
@@ -223,6 +235,8 @@ TEST(Integration, Fig8WalkthroughMigratesThereAndBack) {
   core::OrchestratorConfig orch_cfg;
   orch_cfg.restart_duration = sim::seconds(20);
   core::Orchestrator orch(sim, network, cluster, orch_cfg);
+  fault::Invariants invariants(orch);
+  invariants.attach();
   monitor::NetMonitor netmon(network);
   orch.attach_monitor(&netmon);
   netmon.start();
@@ -272,6 +286,8 @@ TEST(Integration, Fig8WalkthroughMigratesThereAndBack) {
   EXPECT_GT(pair.goodput_series().mean_in(sim::minutes(18), sim::minutes(20)), 0.95);
   // Goodput was hurt during the first degradation window before recovery.
   EXPECT_LT(pair.goodput_series().mean_in(sim::seconds(210), sim::seconds(260)), 0.95);
+  invariants.check_now();
+  EXPECT_EQ(invariants.violations(), 0);
 }
 
 }  // namespace

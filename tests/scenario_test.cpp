@@ -47,6 +47,10 @@ TEST(Scenario, MinimalRunsAndReports) {
   EXPECT_GT(report.latency_mean_ms, 0);
   EXPECT_EQ(report.migrations, 0u);
   EXPECT_GT(report.probe_bytes, 0);  // monitor on by default
+  // The invariant checker rides along by default and stays quiet.
+  EXPECT_NE(s->invariants(), nullptr);
+  EXPECT_EQ(report.invariant_violations, 0);
+  EXPECT_EQ(report.faults_injected, 0);
 }
 
 TEST(Scenario, SecondRunIsNoOp) {
@@ -182,6 +186,7 @@ duration_s = 180
   ASSERT_NE(xa, ya);
   const auto report = s->run();
   EXPECT_GE(report.migrations, 1u);
+  EXPECT_EQ(report.invariant_violations, 0);
 }
 
 }  // namespace
@@ -231,6 +236,7 @@ TEST(Scenario, ConferenceBuildsSfuAppAndReportsBitrates) {
     EXPECT_NEAR(bps, 2.5e6, 2e5) << "node " << node;
   }
   EXPECT_EQ(report.requests_issued, 0);
+  EXPECT_EQ(report.invariant_violations, 0);
 }
 
 TEST(Scenario, ConferenceRejectsComponents) {

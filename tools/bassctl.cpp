@@ -12,14 +12,22 @@
 //   bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]
 //                 [--fades] [--seed N] [--out trace.csv]
 //                                          generate a bandwidth trace CSV
+//   bassctl chaos <scenario.ini> [--seeds N] [--base-seed B]
+//                 [--journal-dir DIR]      run the scenario's [chaos]/[fault]
+//                                          plan under N seeds, report
+//                                          recovery-time and failed-placement
+//                                          stats, verify per-seed determinism
 //
 // The global --log-level {debug,info,warn,error,off} flag (or the BASS_LOG
 // environment variable) controls library logging on stderr.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "app/dot.h"
@@ -41,7 +49,9 @@ int usage() {
                "  bassctl events <journal.jsonl> [--type T] [--since S] [--until S]\n"
                "  bassctl dot <scenario.ini> [out.dot]\n"
                "  bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]\n"
-               "                [--fades] [--seed N] [--out trace.csv]\n");
+               "                [--fades] [--seed N] [--out trace.csv]\n"
+               "  bassctl chaos <scenario.ini> [--seeds N] [--base-seed B]\n"
+               "                [--journal-dir DIR]\n");
   return 2;
 }
 
@@ -100,6 +110,10 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   std::printf("migrations %zu\n", report.migrations);
   std::printf("probes     %.2f MB\n", static_cast<double>(report.probe_bytes) / 1e6);
+  if (report.faults_injected > 0 || report.invariant_violations > 0) {
+    std::printf("faults     %d injected, %d invariant violations\n",
+                report.faults_injected, report.invariant_violations);
+  }
 
   const obs::Recorder& recorder = scene.recorder();
   if (!journal_path.empty()) {
@@ -265,6 +279,173 @@ int cmd_trace(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- bassctl chaos ----
+
+// Result of one seeded chaos run.
+struct ChaosRun {
+  scenario::RunReport report;
+  std::string fault_events;         // fault_injected records, JSONL
+  std::string journal;              // full journal, JSONL
+  int components_down = 0;          // still down when the run ended
+  std::vector<double> recovery_s;   // failover outage lengths, seconds
+};
+
+void ini_set(util::IniSection& section, const std::string& key,
+             const std::string& value) {
+  for (auto& [k, v] : section.entries) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  section.entries.emplace_back(key, value);
+}
+
+util::Expected<ChaosRun> run_chaos_seed(const util::IniFile& base,
+                                        std::uint64_t seed) {
+  util::IniFile ini = base;  // per-seed copy; only the seed key differs
+  for (auto& section : ini.sections) {
+    if (section.kind() == "chaos") {
+      ini_set(section, "seed", std::to_string(seed));
+      break;
+    }
+  }
+  auto s = scenario::Scenario::from_ini(ini);
+  if (!s.ok()) return util::make_error(s.error());
+  auto& scene = *s.value();
+
+  ChaosRun out;
+  out.report = scene.run();
+  core::Orchestrator& orch = scene.orchestrator();
+  for (const core::MigrationEvent& ev : orch.migration_events()) {
+    if (ev.reason == core::MoveReason::kFailover) {
+      out.recovery_s.push_back(sim::to_seconds(ev.at - ev.started_at));
+    }
+  }
+  for (core::DeploymentId id = 0; id < orch.deployment_count(); ++id) {
+    for (app::ComponentId c = 0; c < orch.app(id).component_count(); ++c) {
+      if (!orch.is_up(id, c)) ++out.components_down;
+    }
+  }
+  scene.recorder().journal().for_each([&out](const obs::Event& e) {
+    if (std::holds_alternative<obs::FaultInjected>(e)) {
+      obs::append_jsonl(e, out.fault_events);
+      out.fault_events += '\n';
+    }
+  });
+  out.journal = scene.recorder().journal().to_jsonl();
+  return out;
+}
+
+int cmd_chaos(const std::vector<std::string>& args) {
+  std::string path, journal_dir;
+  int seeds = 3;
+  std::uint64_t base_seed = 1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--seeds" && i + 1 < args.size()) {
+      seeds = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--base-seed" && i + 1 < args.size()) {
+      base_seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--journal-dir" && i + 1 < args.size()) {
+      journal_dir = args[++i];
+    } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
+      path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty() || seeds < 1) return usage();
+
+  auto loaded = util::load_ini(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "scenario error: %s\n", loaded.error().c_str());
+    return 1;
+  }
+  const util::IniFile base = loaded.take();
+  const bool has_chaos = base.first_of_kind("chaos") != nullptr;
+  if (!has_chaos && base.of_kind("fault").empty()) {
+    std::fprintf(stderr,
+                 "scenario error: '%s' has no [chaos] or [fault ...] sections\n",
+                 path.c_str());
+    return 1;
+  }
+  if (!journal_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(journal_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create '%s': %s\n", journal_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
+
+  int total_violations = 0;
+  std::string first_fault_events;
+  for (int i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    auto run = run_chaos_seed(base, seed);
+    if (!run.ok()) {
+      std::fprintf(stderr, "scenario error (seed %llu): %s\n",
+                   static_cast<unsigned long long>(seed), run.error().c_str());
+      return 1;
+    }
+    const ChaosRun& r = run.value();
+    if (i == 0) first_fault_events = r.fault_events;
+    total_violations += r.report.invariant_violations;
+
+    double mean_s = 0, max_s = 0;
+    for (double s : r.recovery_s) {
+      mean_s += s;
+      max_s = std::max(max_s, s);
+    }
+    if (!r.recovery_s.empty()) mean_s /= static_cast<double>(r.recovery_s.size());
+    std::printf(
+        "seed %-4llu %3d faults  %d violations  %zu failovers"
+        " (recovery mean %.1f s, max %.1f s)  %d components down at end\n",
+        static_cast<unsigned long long>(seed), r.report.faults_injected,
+        r.report.invariant_violations, r.recovery_s.size(), mean_s, max_s,
+        r.components_down);
+
+    if (!journal_dir.empty()) {
+      const std::string out_path =
+          journal_dir + "/seed_" + std::to_string(seed) + ".jsonl";
+      std::ofstream out(out_path);
+      if (!out || !(out << r.journal)) {
+        std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Determinism: replaying the first seed must produce a byte-identical
+  // fault-event journal (chaos generation + injection are all Rng-driven).
+  auto replay = run_chaos_seed(base, base_seed);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "scenario error (replay): %s\n", replay.error().c_str());
+    return 1;
+  }
+  const bool deterministic = replay.value().fault_events == first_fault_events;
+  const std::size_t fault_lines =
+      static_cast<std::size_t>(std::count(first_fault_events.begin(),
+                                          first_fault_events.end(), '\n'));
+  std::printf("determinism: seed %llu replay %s (%zu fault events)\n",
+              static_cast<unsigned long long>(base_seed),
+              deterministic ? "byte-identical" : "MISMATCH", fault_lines);
+
+  if (total_violations > 0) {
+    std::fprintf(stderr, "FAIL: %d invariant violations across %d seeds\n",
+                 total_violations, seeds);
+    return 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: fault journal not reproducible for seed %llu\n",
+                 static_cast<unsigned long long>(base_seed));
+    return 1;
+  }
+  std::printf("chaos soak: %d/%d seeds clean\n", seeds, seeds);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,5 +476,6 @@ int main(int argc, char** argv) {
     return cmd_dot(args[0], args.size() == 2 ? args[1] : "");
   }
   if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "chaos") return cmd_chaos(args);
   return usage();
 }
