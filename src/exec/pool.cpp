@@ -1,0 +1,104 @@
+#include "exec/pool.h"
+
+#include <algorithm>
+
+namespace bass::exec {
+
+Pool::Pool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Drain first: destruction must not drop submitted work on the floor.
+    cv_idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Pool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Task{next_id_++, std::move(task)});
+  }
+  cv_work_.notify_one();
+}
+
+void Pool::wait() {
+  std::exception_ptr first;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+    if (!errors_.empty()) {
+      auto lowest = std::min_element(
+          errors_.begin(), errors_.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      first = lowest->second;
+      errors_.clear();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void Pool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with nothing left to do
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    std::exception_ptr error;
+    try {
+      task.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error) errors_.emplace_back(task.id, error);
+      --running_;
+      if (queue_.empty() && running_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t threads, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads <= 1) {
+    // Inline serial path with the same run-everything / rethrow-lowest
+    // semantics as the threaded one, so `--jobs 1` is a true baseline.
+    std::exception_ptr first;
+    std::size_t first_index = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first || i < first_index) {
+          first = std::current_exception();
+          first_index = i;
+        }
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+  Pool pool(std::min(threads, count));
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait();
+}
+
+}  // namespace bass::exec

@@ -1,0 +1,73 @@
+// Fixed-size thread pool for fanning independent scenario runs across
+// hardware threads (DESIGN.md §9). Deliberately work-stealing-free: sweep
+// tasks are whole scenario runs — milliseconds to seconds each — so a
+// single mutex-guarded FIFO is nowhere near contention and keeps the
+// implementation small enough to reason about under ThreadSanitizer.
+//
+// Contract: every submitted task runs exactly once, even when the pool is
+// destroyed with work still queued (the destructor drains before joining).
+// A task that throws does not kill its worker; the exception is captured
+// and the one with the lowest submission id is rethrown from wait(), so
+// error propagation is deterministic regardless of completion interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bass::exec {
+
+class Pool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit Pool(std::size_t threads);
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  // Drains the queue (every submitted task still runs), then joins. Task
+  // exceptions not collected by a wait() are discarded here — call wait()
+  // first if you care.
+  ~Pool();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished, then rethrows the
+  // pending exception with the lowest submission id (clearing the rest).
+  // The pool stays usable after wait(), including after a rethrow.
+  void wait();
+
+ private:
+  struct Task {
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  // workers: queue non-empty or stopping
+  std::condition_variable cv_idle_;  // wait(): queue empty and nothing running
+  std::deque<Task> queue_;
+  std::vector<std::pair<std::uint64_t, std::exception_ptr>> errors_;
+  std::uint64_t next_id_ = 0;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(i) for every i in [0, count) on up to `threads` workers
+// (threads <= 1 runs inline on the calling thread, spawning nothing).
+// Every index runs even when others throw; the exception from the lowest
+// throwing index is rethrown — identical semantics at any thread count.
+void parallel_for(std::size_t threads, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace bass::exec

@@ -1,0 +1,118 @@
+#include "exec/sweep.h"
+
+#include <thread>
+#include <variant>
+
+#include "exec/pool.h"
+#include "obs/recorder.h"
+
+namespace bass::exec {
+
+void apply_overrides(util::IniFile& ini, const std::vector<IniOverride>& overrides) {
+  for (const IniOverride& o : overrides) {
+    util::IniSection* section = nullptr;
+    for (util::IniSection& candidate : ini.sections) {
+      if (candidate.kind() == o.kind) {
+        section = &candidate;
+        break;
+      }
+    }
+    if (section == nullptr) {
+      ini.sections.push_back(util::IniSection{{o.kind}, {}});
+      section = &ini.sections.back();
+    }
+    bool replaced = false;
+    for (auto& [key, value] : section->entries) {
+      if (key == o.key) {
+        value = o.value;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) section->entries.emplace_back(o.key, o.value);
+  }
+}
+
+util::Expected<SweepArtifacts> SweepArtifacts::load(const std::string& path) {
+  auto ini = util::load_ini(path);
+  if (!ini.ok()) return util::make_error(ini.error());
+  return from_ini(ini.take());
+}
+
+util::Expected<SweepArtifacts> SweepArtifacts::from_ini(util::IniFile ini) {
+  SweepArtifacts out;
+  out.ini = std::make_shared<const util::IniFile>(std::move(ini));
+  auto assets = scenario::ScenarioAssets::preload(*out.ini);
+  if (!assets.ok()) return util::make_error(assets.error());
+  out.assets = assets.take();
+  return out;
+}
+
+namespace {
+
+RunOutcome run_one(const SweepArtifacts& artifacts, const RunSpec& spec) {
+  RunOutcome out;
+  out.label = spec.label;
+
+  // Runs with no deltas share the parsed ini outright; otherwise patch a
+  // private copy (still far cheaper than re-reading the file).
+  const util::IniFile* ini = artifacts.ini.get();
+  util::IniFile patched;
+  if (!spec.overrides.empty()) {
+    patched = *artifacts.ini;
+    apply_overrides(patched, spec.overrides);
+    ini = &patched;
+  }
+
+  auto s = scenario::Scenario::from_ini(*ini, artifacts.assets.get());
+  if (!s.ok()) {
+    out.error = s.error();
+    return out;
+  }
+  scenario::Scenario& scene = *s.value();
+
+  // Kernel profiling scopes (BASS_OBS_SCOPE) resolve through the calling
+  // thread's recorder slot: bind this run's recorder so its timings never
+  // land in a concurrently running neighbour.
+  {
+    obs::ScopedGlobalRecorder bind(&scene.recorder());
+    out.report = scene.run();
+  }
+
+  core::Orchestrator& orch = scene.orchestrator();
+  for (const core::MigrationEvent& ev : orch.migration_events()) {
+    if (ev.reason == core::MoveReason::kFailover) {
+      out.recovery_s.push_back(sim::to_seconds(ev.at - ev.started_at));
+    }
+  }
+  for (core::DeploymentId id = 0; id < orch.deployment_count(); ++id) {
+    for (app::ComponentId c = 0; c < orch.app(id).component_count(); ++c) {
+      if (!orch.is_up(id, c)) ++out.components_down;
+    }
+  }
+  scene.recorder().journal().for_each([&out](const obs::Event& e) {
+    if (std::holds_alternative<obs::FaultInjected>(e)) {
+      obs::append_jsonl(e, out.fault_events);
+      out.fault_events += '\n';
+    }
+  });
+  out.journal = scene.recorder().journal().to_jsonl();
+  return out;
+}
+
+}  // namespace
+
+std::vector<RunOutcome> run_sweep(const SweepArtifacts& artifacts,
+                                  const std::vector<RunSpec>& specs,
+                                  std::size_t jobs) {
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<RunOutcome> outcomes(specs.size());
+  parallel_for(jobs, specs.size(), [&artifacts, &specs, &outcomes](std::size_t i) {
+    outcomes[i] = run_one(artifacts, specs[i]);
+  });
+  return outcomes;
+}
+
+}  // namespace bass::exec

@@ -1,0 +1,75 @@
+// Parallel deterministic scenario-sweep engine (DESIGN.md §9): fans N
+// independent scenario runs (chaos seeds, parameter grids) across hardware
+// threads.
+//
+//  * Per-run isolation — every run owns its Scenario (simulation, Rng
+//    streams, obs::Recorder); the worker installs the run's recorder as the
+//    thread's global profiling recorder for the duration of the run.
+//  * Shared immutable artifacts — the scenario ini, trace CSVs, seeded
+//    generated traces, and the validated app graph are parsed once into
+//    SweepArtifacts and shared read-only via shared_ptr.
+//  * Deterministic aggregation — outcomes land in a vector indexed by run
+//    id, so reports/journals are byte-identical to the serial order no
+//    matter how completions interleave (`--jobs 1` vs `--jobs 8` parity is
+//    locked by tests/exec_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "util/expected.h"
+#include "util/ini.h"
+
+namespace bass::exec {
+
+// One `key = value` override applied to the first section of `kind` before
+// a run; the section is appended when the scenario does not have one.
+struct IniOverride {
+  std::string kind;
+  std::string key;
+  std::string value;
+};
+
+void apply_overrides(util::IniFile& ini, const std::vector<IniOverride>& overrides);
+
+// One run of a sweep: a label for reporting plus the ini deltas that make
+// this run different from the base scenario (a chaos seed, a grid cell).
+struct RunSpec {
+  std::string label;
+  std::vector<IniOverride> overrides;
+};
+
+// The parse-once inputs every run shares read-only.
+struct SweepArtifacts {
+  std::shared_ptr<const util::IniFile> ini;
+  std::shared_ptr<const scenario::ScenarioAssets> assets;
+
+  static util::Expected<SweepArtifacts> load(const std::string& path);
+  static util::Expected<SweepArtifacts> from_ini(util::IniFile ini);
+};
+
+// Everything a harness reports about one run, captured while the run's
+// world is still alive (the Scenario itself is torn down inside the sweep).
+struct RunOutcome {
+  std::string label;
+  // Non-empty when the scenario failed to build; all other fields are
+  // default-initialized in that case.
+  std::string error;
+  scenario::RunReport report;
+  std::string journal;       // full event journal, JSONL
+  std::string fault_events;  // fault_injected subset, JSONL
+  std::vector<double> recovery_s;  // failover outage lengths, seconds
+  int components_down = 0;         // components still down at run end
+};
+
+// Runs every spec against the shared artifacts on `jobs` worker threads
+// (0 = hardware_concurrency, 1 = inline serial baseline). Outcomes are
+// indexed by spec position.
+std::vector<RunOutcome> run_sweep(const SweepArtifacts& artifacts,
+                                  const std::vector<RunSpec>& specs,
+                                  std::size_t jobs);
+
+}  // namespace bass::exec

@@ -49,12 +49,14 @@ struct JsonVisitor {
   std::string& out;
 
   void operator()(const ScheduleDecision& e) const {
+    // place_us is wall clock and deliberately NOT serialized: the journal
+    // must be byte-identical across repeated runs of the same seed. The
+    // measurement is still available via the sched.place_us metrics timer.
     out += util::str_format(",\"deployment\":%d,\"scheduler\":", e.deployment);
     append_escaped(e.scheduler, out);
     out += util::str_format(
-        ",\"components\":%d,\"crossing_bps\":%lld,\"place_us\":%.3f,"
-        "\"success\":%s",
-        e.components, static_cast<long long>(e.crossing_bps), e.place_us,
+        ",\"components\":%d,\"crossing_bps\":%lld,\"success\":%s",
+        e.components, static_cast<long long>(e.crossing_bps),
         e.success ? "true" : "false");
   }
   void operator()(const ProbeCompleted& e) const {

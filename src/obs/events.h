@@ -28,7 +28,9 @@ struct ScheduleDecision {
   std::string scheduler;        // e.g. "bass-auto", "k3s-default"
   int components = 0;           // size of the app DAG placed
   net::Bps crossing_bps = 0;    // mesh-crossing bandwidth of the placement
-  double place_us = 0.0;        // wall-clock placement latency
+  double place_us = 0.0;        // wall-clock placement latency (in-memory
+                                // only; excluded from the JSONL journal so
+                                // same-seed runs serialize byte-identically)
   bool success = false;
 };
 

@@ -1,10 +1,22 @@
 #include "obs/recorder.h"
 
+#include <atomic>
+
 namespace bass::obs {
 
 namespace {
 
-Recorder* g_recorder = nullptr;
+// Thread-local slot, checked first. Each sweep worker installs the run's
+// recorder here (exec::run_sweep does this via ScopedGlobalRecorder), so
+// kernels profiled through BASS_OBS_SCOPE attribute timings to the run
+// executing on this thread — concurrent runs cannot cross-contaminate.
+thread_local Recorder* t_recorder = nullptr;
+
+// Process-wide fallback for single-threaded harnesses that install one
+// recorder up front. Atomic so an install can never tear against a reader
+// on another thread; the ownership rule (recorder.h) is to install it
+// before spawning workers, so relaxed ordering suffices.
+std::atomic<Recorder*> g_default_recorder{nullptr};
 
 }  // namespace
 
@@ -33,8 +45,19 @@ void Recorder::record(Event event) {
   journal_.record(std::move(event));
 }
 
-Recorder* global_recorder() { return g_recorder; }
+Recorder* global_recorder() {
+  Recorder* r = t_recorder;
+  return r != nullptr ? r : g_default_recorder.load(std::memory_order_relaxed);
+}
 
-void set_global_recorder(Recorder* recorder) { g_recorder = recorder; }
+Recorder* set_global_recorder(Recorder* recorder) {
+  Recorder* prev = t_recorder;
+  t_recorder = recorder;
+  return prev;
+}
+
+void set_default_global_recorder(Recorder* recorder) {
+  g_default_recorder.store(recorder, std::memory_order_relaxed);
+}
 
 }  // namespace bass::obs

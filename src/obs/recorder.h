@@ -53,10 +53,33 @@ class Recorder {
   std::vector<Counter*> type_counters_;
 };
 
-// Process-wide recorder for profiling scopes inside pure kernels. Null by
-// default; owned by whoever installed it.
+// Recorder for profiling scopes inside pure kernels. Resolution is one TLS
+// load + null check: the calling thread's slot wins, and only a thread with
+// no slot installed falls back to the process-wide default.
+//
+// Ownership rule: the recorder outlives its installation (install nullptr
+// before destroying it). set_global_recorder() binds the *calling thread*
+// only — a sweep worker installs its run's recorder for the duration of the
+// run (use ScopedGlobalRecorder), so concurrent runs never share a slot.
+// set_default_global_recorder() sets the process-wide fallback for
+// single-threaded harnesses; install it before spawning worker threads.
 Recorder* global_recorder();
-void set_global_recorder(Recorder* recorder);
+// Returns the calling thread's previous slot value (for restore-on-exit).
+Recorder* set_global_recorder(Recorder* recorder);
+void set_default_global_recorder(Recorder* recorder);
+
+// RAII install/restore of the calling thread's global-recorder slot.
+class ScopedGlobalRecorder {
+ public:
+  explicit ScopedGlobalRecorder(Recorder* recorder)
+      : prev_(set_global_recorder(recorder)) {}
+  ScopedGlobalRecorder(const ScopedGlobalRecorder&) = delete;
+  ScopedGlobalRecorder& operator=(const ScopedGlobalRecorder&) = delete;
+  ~ScopedGlobalRecorder() { set_global_recorder(prev_); }
+
+ private:
+  Recorder* prev_;
+};
 
 // RAII wall-clock timer feeding a registry timer histogram ("<name>", unit
 // microseconds). The clock is only read when a live, enabled recorder is

@@ -1,5 +1,7 @@
 #include "scenario/scenario.h"
 
+#include <functional>
+
 #include "app/catalog.h"
 #include "trace/generator.h"
 #include "util/strings.h"
@@ -17,7 +19,221 @@ core::SchedulerKind parse_scheduler(const std::string& kind) {
   return core::SchedulerKind::kBassAuto;
 }
 
+// Generation parameters for a synthetic [trace] section (no file= key).
+trace::GeneratorParams parse_trace_gen_params(const util::IniSection& section,
+                                              sim::Duration duration) {
+  trace::GeneratorParams params;
+  params.mean_bps = static_cast<net::Bps>(section.number_or("mean_mbps", 10) * 1e6);
+  params.stddev_frac = section.number_or("stddev_frac", 0.1);
+  params.duration = duration;
+  if (section.flag_or("fades", false)) {
+    params.fade_probability = section.number_or("fade_probability", 0.002);
+    params.fade_depth_frac = section.number_or("fade_depth", 0.25);
+    params.fade_duration = sim::seconds_f(section.number_or("fade_duration_s", 150));
+  }
+  return params;
+}
+
+// Cache key for a generated trace: every input that shapes the points.
+std::string trace_cache_key(const util::IniSection& section, sim::Duration duration) {
+  std::string key;
+  for (const auto& word : section.heading) {
+    key += word;
+    key += ' ';
+  }
+  for (const auto& [k, v] : section.entries) {
+    key += k;
+    key += '=';
+    key += v;
+    key += ';';
+  }
+  key += "duration=" + std::to_string(duration);
+  return key;
+}
+
+// The application graph plus the conference wiring derived from the ini's
+// [component]/[edge]/[clients]/[workload] sections. Built once per sweep by
+// ScenarioAssets::preload() and copied per run, or built inline by
+// from_ini() when no matching assets are supplied.
+struct AppBuild {
+  app::AppGraph graph{"scenario-app"};
+  std::vector<std::pair<net::NodeId, int>> conference_groups;
+  bool is_conference = false;
+};
+
+util::Expected<AppBuild> build_app(
+    const util::IniFile& ini,
+    const std::function<net::NodeId(const std::string&)>& node_id) {
+  AppBuild out;
+  const auto* wl = ini.first_of_kind("workload");
+  out.is_conference = wl != nullptr && wl->get_or("type", "requests") == "conference";
+
+  if (out.is_conference) {
+    if (!ini.of_kind("component").empty()) {
+      return util::make_error(
+          "conference scenarios build the SFU app from [clients] "
+          "sections; remove [component]/[edge]");
+    }
+    for (const auto* section : ini.of_kind("clients")) {
+      if (section->heading.size() != 2) {
+        return util::make_error("[clients] needs a node name");
+      }
+      const net::NodeId node = node_id(section->heading[1]);
+      if (node == net::kInvalidNode) {
+        return util::make_error("[clients " + section->heading[1] + "]: unknown node");
+      }
+      out.conference_groups.emplace_back(
+          node, static_cast<int>(section->number_or("count", 1)));
+    }
+    if (out.conference_groups.empty()) {
+      return util::make_error("conference scenario defines no [clients] sections");
+    }
+    const auto per_stream =
+        static_cast<net::Bps>(wl->number_or("per_stream_kbps", 250) * 1e3);
+    out.graph = app::video_conference_app(out.conference_groups, per_stream);
+  }
+  std::map<std::string, app::ComponentId> comps;
+  for (const auto* section : ini.of_kind("component")) {
+    if (section->heading.size() != 2) {
+      return util::make_error("[component] needs exactly one name");
+    }
+    const std::string& name = section->heading[1];
+    if (comps.count(name)) return util::make_error("duplicate component '" + name + "'");
+    app::Component c;
+    c.name = name;
+    c.cpu_milli = static_cast<std::int64_t>(section->number_or("cpu", 100));
+    c.memory_mb = static_cast<std::int64_t>(section->number_or("memory_mb", 64));
+    c.service_time = sim::seconds_f(section->number_or("service_time_ms", 1) / 1e3);
+    c.concurrency = static_cast<int>(section->number_or("concurrency", 4));
+    c.state_mb = static_cast<std::int64_t>(section->number_or("state_mb", 0));
+    if (const auto pinned = section->get("pinned")) {
+      const net::NodeId node = node_id(*pinned);
+      if (node == net::kInvalidNode) {
+        return util::make_error("component '" + name + "' pinned to unknown node '" +
+                                *pinned + "'");
+      }
+      c.pinned_node = node;
+    }
+    comps[name] = out.graph.add_component(c);
+  }
+  if (!out.is_conference && comps.empty()) {
+    return util::make_error("scenario defines no [component] sections");
+  }
+
+  for (const auto* section : ini.of_kind("edge")) {
+    if (section->heading.size() != 3) {
+      return util::make_error("[edge] needs two component names");
+    }
+    const auto from = comps.find(section->heading[1]);
+    const auto to = comps.find(section->heading[2]);
+    if (from == comps.end() || to == comps.end()) {
+      return util::make_error("[edge " + section->heading[1] + " " +
+                              section->heading[2] + "]: unknown component");
+    }
+    app::Edge e;
+    e.from = from->second;
+    e.to = to->second;
+    e.bandwidth = static_cast<net::Bps>(section->number_or("bandwidth_mbps", 1) * 1e6);
+    e.request_bytes = static_cast<std::int64_t>(section->number_or("request_bytes", 1024));
+    e.response_bytes =
+        static_cast<std::int64_t>(section->number_or("response_bytes", 1024));
+    e.probability = section->number_or("probability", 1.0);
+    e.max_latency = sim::seconds_f(section->number_or("max_latency_ms", 0) / 1e3);
+    out.graph.add_dependency(e);
+  }
+  std::string validation;
+  if (!out.graph.validate(&validation)) {
+    return util::make_error("invalid application: " + validation);
+  }
+  return out;
+}
+
+sim::Duration parse_duration(const util::IniFile& ini) {
+  const auto* run = ini.first_of_kind("run");
+  return sim::seconds_f(run ? run->number_or("duration_s", 600) : 600);
+}
+
 }  // namespace
+
+std::string app_fingerprint(const util::IniFile& ini) {
+  std::string fp;
+  for (const auto& section : ini.sections) {
+    const std::string& kind = section.kind();
+    const bool app_shaping =
+        kind == "component" || kind == "edge" || kind == "clients";
+    if (kind == "node") {
+      // Only names and order matter: they fix the NodeId assignment that
+      // pinned= and [clients] resolve against.
+      for (const auto& word : section.heading) {
+        fp += word;
+        fp += ' ';
+      }
+      fp += '\n';
+    } else if (app_shaping) {
+      for (const auto& word : section.heading) {
+        fp += word;
+        fp += ' ';
+      }
+      fp += '\n';
+      for (const auto& [k, v] : section.entries) {
+        fp += k;
+        fp += '=';
+        fp += v;
+        fp += '\n';
+      }
+    } else if (kind == "workload") {
+      // Of the workload keys, only these shape the graph itself — seeds and
+      // rates deliberately stay out so seed sweeps share the cached app.
+      fp += "workload type=" + section.get_or("type", "requests") +
+            " per_stream_kbps=" + section.get_or("per_stream_kbps", "250") + '\n';
+    }
+  }
+  return fp;
+}
+
+util::Expected<std::shared_ptr<const ScenarioAssets>> ScenarioAssets::preload(
+    const util::IniFile& ini) {
+  auto assets = std::make_shared<ScenarioAssets>();
+
+  // Mirror from_ini's NodeId assignment: ids follow [node] section order.
+  std::map<std::string, net::NodeId> nodes;
+  net::NodeId next_id = 0;
+  for (const auto* section : ini.of_kind("node")) {
+    if (section->heading.size() != 2) return err("[node] needs exactly one name");
+    if (!nodes.count(section->heading[1])) nodes[section->heading[1]] = next_id++;
+  }
+  const auto node_id = [&nodes](const std::string& name) {
+    const auto it = nodes.find(name);
+    return it == nodes.end() ? net::kInvalidNode : it->second;
+  };
+
+  const sim::Duration duration = parse_duration(ini);
+  for (const auto* section : ini.of_kind("trace")) {
+    if (section->heading.size() != 3) return err("[trace] needs two node names");
+    if (const auto file = section->get("file")) {
+      if (assets->file_traces.count(*file)) continue;
+      auto recorded = trace::BandwidthTrace::load_csv(*file);
+      if (!recorded) return err("[trace]: cannot load '" + *file + "'");
+      assets->file_traces[*file] =
+          std::make_shared<const trace::BandwidthTrace>(std::move(*recorded));
+      continue;
+    }
+    const std::string key = trace_cache_key(*section, duration);
+    if (assets->generated_traces.count(key)) continue;
+    util::Rng rng(static_cast<std::uint64_t>(section->number_or("seed", 1)));
+    assets->generated_traces[key] = std::make_shared<const trace::BandwidthTrace>(
+        trace::generate_trace(parse_trace_gen_params(*section, duration), rng));
+  }
+
+  auto built = build_app(ini, node_id);
+  if (!built.ok()) return err(built.error());
+  AppBuild build = built.take();
+  assets->app = std::make_shared<const app::AppGraph>(std::move(build.graph));
+  assets->conference_groups = std::move(build.conference_groups);
+  assets->is_conference = build.is_conference;
+  assets->fingerprint = app_fingerprint(ini);
+  return std::shared_ptr<const ScenarioAssets>(std::move(assets));
+}
 
 net::NodeId Scenario::node_id(const std::string& name) const {
   const auto it = nodes_by_name_.find(name);
@@ -37,7 +253,8 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_file(const std::string&
   return from_ini(ini.value());
 }
 
-util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(const util::IniFile& ini) {
+util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(
+    const util::IniFile& ini, const ScenarioAssets* assets) {
   auto s = std::unique_ptr<Scenario>(new Scenario());
 
   // ---- Observability ----
@@ -119,7 +336,7 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(const util::IniFile
   // ---- Traces ----
   s->player_ = std::make_unique<trace::TracePlayer>(*s->network_);
   const auto* run = ini.first_of_kind("run");
-  s->duration_ = sim::seconds_f(run ? run->number_or("duration_s", 600) : 600);
+  s->duration_ = parse_duration(ini);
   if (run != nullptr) s->dot_path_ = run->get_or("dot", "");
   bool has_traces = false;
   for (const auto* section : ini.of_kind("trace")) {
@@ -134,100 +351,59 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(const util::IniFile
     if (const auto file = section->get("file")) {
       // Replay a recorded trace (CSV: t_seconds,bps — bassctl trace emits
       // this format, and real testbed traces can be converted to it).
+      // Preloaded assets spare the per-run disk read + parse.
+      if (assets != nullptr) {
+        const auto it = assets->file_traces.find(*file);
+        if (it != assets->file_traces.end()) {
+          s->player_->add_bidirectional(a, b, *it->second);
+          has_traces = true;
+          continue;
+        }
+      }
       auto recorded = trace::BandwidthTrace::load_csv(*file);
       if (!recorded) return err("[trace]: cannot load '" + *file + "'");
       s->player_->add_bidirectional(a, b, std::move(*recorded));
       has_traces = true;
       continue;
     }
-    trace::GeneratorParams params;
-    params.mean_bps = static_cast<net::Bps>(section->number_or("mean_mbps", 10) * 1e6);
-    params.stddev_frac = section->number_or("stddev_frac", 0.1);
-    params.duration = s->duration_;
-    if (section->flag_or("fades", false)) {
-      params.fade_probability = section->number_or("fade_probability", 0.002);
-      params.fade_depth_frac = section->number_or("fade_depth", 0.25);
-      params.fade_duration = sim::seconds_f(section->number_or("fade_duration_s", 150));
+    // Synthetic trace: reuse the pre-generated points when the assets were
+    // built with identical parameters (generation is seeded, so the cached
+    // copy is exactly what this run would have produced).
+    if (assets != nullptr) {
+      const auto it =
+          assets->generated_traces.find(trace_cache_key(*section, s->duration_));
+      if (it != assets->generated_traces.end()) {
+        s->player_->add_bidirectional(a, b, *it->second);
+        has_traces = true;
+        continue;
+      }
     }
     util::Rng rng(static_cast<std::uint64_t>(section->number_or("seed", 1)));
-    s->player_->add_bidirectional(a, b, trace::generate_trace(params, rng));
+    s->player_->add_bidirectional(
+        a, b, trace::generate_trace(parse_trace_gen_params(*section, s->duration_), rng));
     has_traces = true;
   }
 
   // ---- Application ----
   const auto* wl = ini.first_of_kind("workload");
-  const bool is_conference =
-      wl != nullptr && wl->get_or("type", "requests") == "conference";
-
-  app::AppGraph graph("scenario-app");
-  std::vector<std::pair<net::NodeId, int>> conference_groups;
-  if (is_conference) {
-    if (!ini.of_kind("component").empty()) {
-      return err("conference scenarios build the SFU app from [clients] "
-                 "sections; remove [component]/[edge]");
-    }
-    for (const auto* section : ini.of_kind("clients")) {
-      if (section->heading.size() != 2) return err("[clients] needs a node name");
-      const net::NodeId node = s->node_id(section->heading[1]);
-      if (node == net::kInvalidNode) {
-        return err("[clients " + section->heading[1] + "]: unknown node");
-      }
-      conference_groups.emplace_back(
-          node, static_cast<int>(section->number_or("count", 1)));
-    }
-    if (conference_groups.empty()) {
-      return err("conference scenario defines no [clients] sections");
-    }
-    const auto per_stream =
-        static_cast<net::Bps>(wl->number_or("per_stream_kbps", 250) * 1e3);
-    graph = app::video_conference_app(conference_groups, per_stream);
+  AppBuild app_build;
+  if (assets != nullptr && assets->app != nullptr &&
+      assets->fingerprint == app_fingerprint(ini)) {
+    // The cached graph was built from sections identical to ours: take a
+    // copy and skip the rebuild + validation.
+    app_build.graph = *assets->app;
+    app_build.conference_groups = assets->conference_groups;
+    app_build.is_conference = assets->is_conference;
+  } else {
+    auto built = build_app(
+        ini, [&s](const std::string& name) { return s->node_id(name); });
+    if (!built.ok()) return err(built.error());
+    app_build = built.take();
   }
-  std::map<std::string, app::ComponentId> comps;
-  for (const auto* section : ini.of_kind("component")) {
-    if (section->heading.size() != 2) return err("[component] needs exactly one name");
-    const std::string& name = section->heading[1];
-    if (comps.count(name)) return err("duplicate component '" + name + "'");
-    app::Component c;
-    c.name = name;
-    c.cpu_milli = static_cast<std::int64_t>(section->number_or("cpu", 100));
-    c.memory_mb = static_cast<std::int64_t>(section->number_or("memory_mb", 64));
-    c.service_time = sim::seconds_f(section->number_or("service_time_ms", 1) / 1e3);
-    c.concurrency = static_cast<int>(section->number_or("concurrency", 4));
-    c.state_mb = static_cast<std::int64_t>(section->number_or("state_mb", 0));
-    if (const auto pinned = section->get("pinned")) {
-      const net::NodeId node = s->node_id(*pinned);
-      if (node == net::kInvalidNode) {
-        return err("component '" + name + "' pinned to unknown node '" + *pinned + "'");
-      }
-      c.pinned_node = node;
-    }
-    comps[name] = graph.add_component(c);
-  }
-  if (!is_conference && comps.empty()) {
-    return err("scenario defines no [component] sections");
-  }
-
-  for (const auto* section : ini.of_kind("edge")) {
-    if (section->heading.size() != 3) return err("[edge] needs two component names");
-    const auto from = comps.find(section->heading[1]);
-    const auto to = comps.find(section->heading[2]);
-    if (from == comps.end() || to == comps.end()) {
-      return err("[edge " + section->heading[1] + " " + section->heading[2] +
-                 "]: unknown component");
-    }
-    app::Edge e;
-    e.from = from->second;
-    e.to = to->second;
-    e.bandwidth = static_cast<net::Bps>(section->number_or("bandwidth_mbps", 1) * 1e6);
-    e.request_bytes = static_cast<std::int64_t>(section->number_or("request_bytes", 1024));
-    e.response_bytes =
-        static_cast<std::int64_t>(section->number_or("response_bytes", 1024));
-    e.probability = section->number_or("probability", 1.0);
-    e.max_latency = sim::seconds_f(section->number_or("max_latency_ms", 0) / 1e3);
-    graph.add_dependency(e);
-  }
-  std::string validation;
-  if (!graph.validate(&validation)) return err("invalid application: " + validation);
+  const bool is_conference = app_build.is_conference;
+  const std::vector<std::pair<net::NodeId, int>>& conference_groups =
+      app_build.conference_groups;
+  app::AppGraph& graph = app_build.graph;
 
   // ---- Deploy ----
   const auto* sched = ini.first_of_kind("scheduler");

@@ -56,7 +56,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "app/app_graph.h"
 #include "core/orchestrator.h"
 #include "fault/injector.h"
 #include "fault/invariants.h"
@@ -88,11 +90,43 @@ struct RunReport {
   int invariant_violations = 0;
 };
 
+// Immutable, pre-parsed scenario inputs that many runs share read-only
+// (via shared_ptr from exec::SweepArtifacts): a sweep preloads the trace
+// CSVs, the seeded generated traces, and the validated application graph
+// exactly once instead of re-parsing them for every seed. Passing assets
+// built from a *different* scenario is safe — from_ini() only consumes an
+// entry when it matches what the ini asks for (file path, generated-trace
+// parameters, app fingerprint) and falls back to parsing otherwise.
+struct ScenarioAssets {
+  // [trace ...] file= CSVs, keyed by the path string in the ini.
+  std::map<std::string, std::shared_ptr<const trace::BandwidthTrace>> file_traces;
+  // Seeded synthetic traces, keyed by generation parameters + duration.
+  std::map<std::string, std::shared_ptr<const trace::BandwidthTrace>> generated_traces;
+  // The validated app graph (and its conference wiring), reused only when
+  // the run's ini has the same app fingerprint.
+  std::shared_ptr<const app::AppGraph> app;
+  std::vector<std::pair<net::NodeId, int>> conference_groups;
+  bool is_conference = false;
+  std::string fingerprint;
+
+  static util::Expected<std::shared_ptr<const ScenarioAssets>> preload(
+      const util::IniFile& ini);
+};
+
+// Serializes the sections that determine the application graph and the
+// node-id assignment ([node] order, [component]/[edge]/[clients], the
+// app-shaping [workload] keys). Two inis with equal fingerprints build
+// identical graphs, so assets built from one can serve the other.
+std::string app_fingerprint(const util::IniFile& ini);
+
 class Scenario {
  public:
   // Builds a fully wired world from a parsed scenario. The returned object
-  // owns the simulation and every subsystem.
-  static util::Expected<std::unique_ptr<Scenario>> from_ini(const util::IniFile& ini);
+  // owns the simulation and every subsystem. `assets` (optional) supplies
+  // pre-parsed shared artifacts; everything it does not cover is parsed
+  // from the ini as usual.
+  static util::Expected<std::unique_ptr<Scenario>> from_ini(
+      const util::IniFile& ini, const ScenarioAssets* assets = nullptr);
   static util::Expected<std::unique_ptr<Scenario>> from_file(const std::string& path);
 
   // Runs the configured duration and returns the report. Callable once.

@@ -12,16 +12,25 @@
 //   bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]
 //                 [--fades] [--seed N] [--out trace.csv]
 //                                          generate a bandwidth trace CSV
-//   bassctl chaos <scenario.ini> [--seeds N] [--base-seed B]
+//   bassctl chaos <scenario.ini> [--seeds N] [--base-seed B] [--jobs N]
 //                 [--journal-dir DIR]      run the scenario's [chaos]/[fault]
-//                                          plan under N seeds, report
+//                                          plan under N seeds (fanned across
+//                                          N worker threads), report
 //                                          recovery-time and failed-placement
 //                                          stats, verify per-seed determinism
+//   bassctl sweep <scenario.ini> [--thresholds a,b,..] [--headrooms a,b,..]
+//                 [--seeds N] [--base-seed B] [--jobs N] [--out sweep.json]
+//                                          parameter-grid sweep over the
+//                                          migration controller (threshold ×
+//                                          headroom × seed), in parallel,
+//                                          with deterministic output order
 //
 // The global --log-level {debug,info,warn,error,off} flag (or the BASS_LOG
 // environment variable) controls library logging on stderr.
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -31,10 +40,13 @@
 #include <vector>
 
 #include "app/dot.h"
+#include "exec/sweep.h"
 #include "obs/journal.h"
+#include "obs/metrics.h"
 #include "scenario/scenario.h"
 #include "trace/generator.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 using namespace bass;
 
@@ -51,8 +63,53 @@ int usage() {
                "  bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]\n"
                "                [--fades] [--seed N] [--out trace.csv]\n"
                "  bassctl chaos <scenario.ini> [--seeds N] [--base-seed B]\n"
-               "                [--journal-dir DIR]\n");
+               "                [--jobs N] [--journal-dir DIR]\n"
+               "  bassctl sweep <scenario.ini> [--thresholds a,b,..] [--headrooms a,b,..]\n"
+               "                [--seeds N] [--base-seed B] [--jobs N] [--out sweep.json]\n");
   return 2;
+}
+
+// Strict integer parsing for count-like flags: the whole token must be a
+// base-10 unsigned integer within range. Unlike atoi, garbage ("abc",
+// "12x", "", negatives) is rejected with a clear message instead of
+// silently collapsing to 0.
+bool parse_u64_flag(const char* flag, const std::string& text,
+                    std::uint64_t min_value, std::uint64_t& out) {
+  const char* begin = text.c_str();
+  const char* end = begin + text.size();
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (text.empty() || ec != std::errc() || ptr != end || value < min_value) {
+    std::fprintf(stderr, "bassctl: %s expects an integer >= %llu, got '%s'\n",
+                 flag, static_cast<unsigned long long>(min_value), text.c_str());
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+// Comma-separated list of fractions in (0, 1], e.g. "0.25,0.5,0.95".
+bool parse_fraction_list(const char* flag, const std::string& text,
+                         std::vector<double>& out) {
+  out.clear();
+  for (const std::string& piece : util::split(text, ',')) {
+    const std::string token = util::trim(piece);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size() || value <= 0 ||
+        value > 1) {
+      std::fprintf(stderr,
+                   "bassctl: %s expects comma-separated fractions in (0, 1], got '%s'\n",
+                   flag, text.c_str());
+      return false;
+    }
+    out.push_back(value);
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "bassctl: %s expects at least one value\n", flag);
+    return false;
+  }
+  return true;
 }
 
 int cmd_validate(const std::string& path) {
@@ -281,71 +338,31 @@ int cmd_trace(const std::vector<std::string>& args) {
 
 // ---- bassctl chaos ----
 
-// Result of one seeded chaos run.
-struct ChaosRun {
-  scenario::RunReport report;
-  std::string fault_events;         // fault_injected records, JSONL
-  std::string journal;              // full journal, JSONL
-  int components_down = 0;          // still down when the run ended
-  std::vector<double> recovery_s;   // failover outage lengths, seconds
-};
-
-void ini_set(util::IniSection& section, const std::string& key,
-             const std::string& value) {
-  for (auto& [k, v] : section.entries) {
-    if (k == key) {
-      v = value;
-      return;
-    }
+// Per-seed run specs for a chaos soak: only the [chaos] seed differs.
+std::vector<exec::RunSpec> chaos_specs(bool has_chaos, std::uint64_t base_seed,
+                                       std::uint64_t seeds) {
+  std::vector<exec::RunSpec> specs;
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    exec::RunSpec spec;
+    spec.label = "seed " + std::to_string(seed);
+    if (has_chaos) spec.overrides.push_back({"chaos", "seed", std::to_string(seed)});
+    specs.push_back(std::move(spec));
   }
-  section.entries.emplace_back(key, value);
-}
-
-util::Expected<ChaosRun> run_chaos_seed(const util::IniFile& base,
-                                        std::uint64_t seed) {
-  util::IniFile ini = base;  // per-seed copy; only the seed key differs
-  for (auto& section : ini.sections) {
-    if (section.kind() == "chaos") {
-      ini_set(section, "seed", std::to_string(seed));
-      break;
-    }
-  }
-  auto s = scenario::Scenario::from_ini(ini);
-  if (!s.ok()) return util::make_error(s.error());
-  auto& scene = *s.value();
-
-  ChaosRun out;
-  out.report = scene.run();
-  core::Orchestrator& orch = scene.orchestrator();
-  for (const core::MigrationEvent& ev : orch.migration_events()) {
-    if (ev.reason == core::MoveReason::kFailover) {
-      out.recovery_s.push_back(sim::to_seconds(ev.at - ev.started_at));
-    }
-  }
-  for (core::DeploymentId id = 0; id < orch.deployment_count(); ++id) {
-    for (app::ComponentId c = 0; c < orch.app(id).component_count(); ++c) {
-      if (!orch.is_up(id, c)) ++out.components_down;
-    }
-  }
-  scene.recorder().journal().for_each([&out](const obs::Event& e) {
-    if (std::holds_alternative<obs::FaultInjected>(e)) {
-      obs::append_jsonl(e, out.fault_events);
-      out.fault_events += '\n';
-    }
-  });
-  out.journal = scene.recorder().journal().to_jsonl();
-  return out;
+  return specs;
 }
 
 int cmd_chaos(const std::vector<std::string>& args) {
   std::string path, journal_dir;
-  int seeds = 3;
-  std::uint64_t base_seed = 1;
+  std::uint64_t seeds = 3, base_seed = 1, jobs = 1;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--seeds" && i + 1 < args.size()) {
-      seeds = std::atoi(args[++i].c_str());
+      if (!parse_u64_flag("--seeds", args[++i], 1, seeds)) return 2;
     } else if (args[i] == "--base-seed" && i + 1 < args.size()) {
-      base_seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+      if (!parse_u64_flag("--base-seed", args[++i], 0, base_seed)) return 2;
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      // 0 = one worker per hardware thread.
+      if (!parse_u64_flag("--jobs", args[++i], 0, jobs)) return 2;
     } else if (args[i] == "--journal-dir" && i + 1 < args.size()) {
       journal_dir = args[++i];
     } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
@@ -354,19 +371,23 @@ int cmd_chaos(const std::vector<std::string>& args) {
       return usage();
     }
   }
-  if (path.empty() || seeds < 1) return usage();
+  if (path.empty()) return usage();
 
   auto loaded = util::load_ini(path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "scenario error: %s\n", loaded.error().c_str());
     return 1;
   }
-  const util::IniFile base = loaded.take();
-  const bool has_chaos = base.first_of_kind("chaos") != nullptr;
-  if (!has_chaos && base.of_kind("fault").empty()) {
+  const bool has_chaos = loaded.value().first_of_kind("chaos") != nullptr;
+  if (!has_chaos && loaded.value().of_kind("fault").empty()) {
     std::fprintf(stderr,
                  "scenario error: '%s' has no [chaos] or [fault ...] sections\n",
                  path.c_str());
+    return 1;
+  }
+  auto artifacts = exec::SweepArtifacts::from_ini(loaded.take());
+  if (!artifacts.ok()) {
+    std::fprintf(stderr, "scenario error: %s\n", artifacts.error().c_str());
     return 1;
   }
   if (!journal_dir.empty()) {
@@ -379,18 +400,20 @@ int cmd_chaos(const std::vector<std::string>& args) {
     }
   }
 
+  // Fan the seeds across workers; outcomes come back indexed by seed order,
+  // so everything below prints exactly as the serial soak did.
+  const auto outcomes = exec::run_sweep(
+      artifacts.value(), chaos_specs(has_chaos, base_seed, seeds), jobs);
+
   int total_violations = 0;
-  std::string first_fault_events;
-  for (int i = 0; i < seeds; ++i) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-    auto run = run_chaos_seed(base, seed);
-    if (!run.ok()) {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const exec::RunOutcome& r = outcomes[i];
+    const std::uint64_t seed = base_seed + i;
+    if (!r.error.empty()) {
       std::fprintf(stderr, "scenario error (seed %llu): %s\n",
-                   static_cast<unsigned long long>(seed), run.error().c_str());
+                   static_cast<unsigned long long>(seed), r.error.c_str());
       return 1;
     }
-    const ChaosRun& r = run.value();
-    if (i == 0) first_fault_events = r.fault_events;
     total_violations += r.report.invariant_violations;
 
     double mean_s = 0, max_s = 0;
@@ -417,14 +440,17 @@ int cmd_chaos(const std::vector<std::string>& args) {
     }
   }
 
-  // Determinism: replaying the first seed must produce a byte-identical
-  // fault-event journal (chaos generation + injection are all Rng-driven).
-  auto replay = run_chaos_seed(base, base_seed);
-  if (!replay.ok()) {
-    std::fprintf(stderr, "scenario error (replay): %s\n", replay.error().c_str());
+  // Determinism: replaying the first seed (serially) must produce a
+  // byte-identical fault-event journal regardless of how the parallel soak
+  // interleaved (chaos generation + injection are all Rng-driven).
+  const auto replay =
+      exec::run_sweep(artifacts.value(), chaos_specs(has_chaos, base_seed, 1), 1);
+  if (!replay[0].error.empty()) {
+    std::fprintf(stderr, "scenario error (replay): %s\n", replay[0].error.c_str());
     return 1;
   }
-  const bool deterministic = replay.value().fault_events == first_fault_events;
+  const std::string& first_fault_events = outcomes[0].fault_events;
+  const bool deterministic = replay[0].fault_events == first_fault_events;
   const std::size_t fault_lines =
       static_cast<std::size_t>(std::count(first_fault_events.begin(),
                                           first_fault_events.end(), '\n'));
@@ -433,8 +459,8 @@ int cmd_chaos(const std::vector<std::string>& args) {
               deterministic ? "byte-identical" : "MISMATCH", fault_lines);
 
   if (total_violations > 0) {
-    std::fprintf(stderr, "FAIL: %d invariant violations across %d seeds\n",
-                 total_violations, seeds);
+    std::fprintf(stderr, "FAIL: %d invariant violations across %llu seeds\n",
+                 total_violations, static_cast<unsigned long long>(seeds));
     return 1;
   }
   if (!deterministic) {
@@ -442,7 +468,139 @@ int cmd_chaos(const std::vector<std::string>& args) {
                  static_cast<unsigned long long>(base_seed));
     return 1;
   }
-  std::printf("chaos soak: %d/%d seeds clean\n", seeds, seeds);
+  std::printf("chaos soak: %llu/%llu seeds clean\n",
+              static_cast<unsigned long long>(seeds),
+              static_cast<unsigned long long>(seeds));
+  return 0;
+}
+
+// ---- bassctl sweep ----
+
+// Parameter-grid sweep over the migration controller: every (threshold,
+// headroom, seed) cell is an independent scenario run, fanned across worker
+// threads with deterministic (grid-order) reporting.
+int cmd_sweep(const std::vector<std::string>& args) {
+  std::string path, out_path;
+  std::vector<double> thresholds = {0.25, 0.50, 0.65, 0.75, 0.95};
+  std::vector<double> headrooms = {0.10, 0.20, 0.30};
+  std::uint64_t seeds = 1, base_seed = 1, jobs = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--thresholds" && i + 1 < args.size()) {
+      if (!parse_fraction_list("--thresholds", args[++i], thresholds)) return 2;
+    } else if (args[i] == "--headrooms" && i + 1 < args.size()) {
+      if (!parse_fraction_list("--headrooms", args[++i], headrooms)) return 2;
+    } else if (args[i] == "--seeds" && i + 1 < args.size()) {
+      if (!parse_u64_flag("--seeds", args[++i], 1, seeds)) return 2;
+    } else if (args[i] == "--base-seed" && i + 1 < args.size()) {
+      if (!parse_u64_flag("--base-seed", args[++i], 0, base_seed)) return 2;
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      if (!parse_u64_flag("--jobs", args[++i], 0, jobs)) return 2;
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
+      path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  auto artifacts = exec::SweepArtifacts::load(path);
+  if (!artifacts.ok()) {
+    std::fprintf(stderr, "scenario error: %s\n", artifacts.error().c_str());
+    return 1;
+  }
+  const bool has_chaos = artifacts.value().ini->first_of_kind("chaos") != nullptr;
+  const bool has_workload = artifacts.value().ini->first_of_kind("workload") != nullptr;
+
+  std::vector<exec::RunSpec> specs;
+  for (const double threshold : thresholds) {
+    for (const double headroom : headrooms) {
+      for (std::uint64_t i = 0; i < seeds; ++i) {
+        const std::uint64_t seed = base_seed + i;
+        exec::RunSpec spec;
+        spec.label = util::str_format("t=%.2f h=%.2f seed=%llu", threshold,
+                                      headroom, static_cast<unsigned long long>(seed));
+        spec.overrides.push_back({"migration", "enabled", "true"});
+        spec.overrides.push_back({"migration", "threshold", std::to_string(threshold)});
+        spec.overrides.push_back({"migration", "headroom", std::to_string(headroom)});
+        // Seed whatever stochastic inputs the scenario declares; sections
+        // the scenario lacks are left untouched.
+        if (has_workload) {
+          spec.overrides.push_back({"workload", "seed", std::to_string(seed)});
+        }
+        if (has_chaos) {
+          spec.overrides.push_back({"chaos", "seed", std::to_string(seed)});
+        }
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+
+  const auto outcomes = exec::run_sweep(artifacts.value(), specs, jobs);
+
+  obs::MetricsRegistry registry;
+  std::printf("%-26s %12s %12s %12s %8s %8s\n", "cell", "median(ms)", "p99(ms)",
+              "migrations", "faults", "violations");
+  int total_violations = 0;
+  struct Cell {
+    double threshold = 0, headroom = 0, mean_median = 0, mean_p99 = 0;
+  };
+  Cell best;
+  best.mean_p99 = -1;
+  std::size_t run_index = 0;
+  for (const double threshold : thresholds) {
+    for (const double headroom : headrooms) {
+      double sum_median = 0, sum_p99 = 0;
+      for (std::uint64_t i = 0; i < seeds; ++i, ++run_index) {
+        const exec::RunOutcome& r = outcomes[run_index];
+        if (!r.error.empty()) {
+          std::fprintf(stderr, "scenario error (%s): %s\n", r.label.c_str(),
+                       r.error.c_str());
+          return 1;
+        }
+        total_violations += r.report.invariant_violations;
+        sum_median += r.report.latency_median_ms;
+        sum_p99 += r.report.latency_p99_ms;
+        std::printf("%-26s %12.1f %12.1f %12zu %8d %8d\n", r.label.c_str(),
+                    r.report.latency_median_ms, r.report.latency_p99_ms,
+                    r.report.migrations, r.report.faults_injected,
+                    r.report.invariant_violations);
+        const obs::Labels labels = {
+            {"threshold", util::str_format("%.2f", threshold)},
+            {"headroom", util::str_format("%.2f", headroom)},
+            {"seed", std::to_string(base_seed + i)}};
+        registry.gauge("sweep.latency_median_ms", labels)
+            .set(r.report.latency_median_ms);
+        registry.gauge("sweep.latency_p99_ms", labels).set(r.report.latency_p99_ms);
+        registry.gauge("sweep.migrations", labels)
+            .set(static_cast<double>(r.report.migrations));
+      }
+      const double n = static_cast<double>(seeds);
+      const Cell cell{threshold, headroom, sum_median / n, sum_p99 / n};
+      if (best.mean_p99 < 0 || cell.mean_p99 < best.mean_p99) best = cell;
+    }
+  }
+  std::printf("best cell: threshold %.0f%% headroom %.0f%%"
+              " (mean median %.1f ms, mean p99 %.1f ms over %llu seed%s)\n",
+              best.threshold * 100, best.headroom * 100, best.mean_median,
+              best.mean_p99, static_cast<unsigned long long>(seeds),
+              seeds == 1 ? "" : "s");
+
+  if (!out_path.empty()) {
+    if (!registry.write_json(out_path, 0)) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("results    %zu cells x %llu seeds -> %s\n",
+                thresholds.size() * headrooms.size(),
+                static_cast<unsigned long long>(seeds), out_path.c_str());
+  }
+  if (total_violations > 0) {
+    std::fprintf(stderr, "FAIL: %d invariant violations across the sweep\n",
+                 total_violations);
+    return 1;
+  }
   return 0;
 }
 
@@ -477,5 +635,6 @@ int main(int argc, char** argv) {
   }
   if (cmd == "trace") return cmd_trace(args);
   if (cmd == "chaos") return cmd_chaos(args);
+  if (cmd == "sweep") return cmd_sweep(args);
   return usage();
 }
