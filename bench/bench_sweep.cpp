@@ -9,6 +9,13 @@
 // --smoke shrinks the seed pool and only probes {1, max} jobs so CI can run
 // the parity check cheaply; the ">= 4x at 8 threads" gate only applies to
 // full runs on machines with at least 8 hardware threads.
+//
+// The binary links the global allocation probe, so each job point also
+// reports heap allocations per run — a coarse watch on allocator churn in
+// the sweep engine itself (runs allocate their own worlds, so this is a
+// per-run total, not a zero gate like bench_alloc_fastpath's).
+#include "../tests/alloc_probe.h"  // global new/delete counters (one TU rule)
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -82,17 +89,22 @@ int run(int argc, char** argv) {
 
   std::printf("seeds: %llu   hardware threads: %u\n\n",
               static_cast<unsigned long long>(seeds), hw);
-  std::printf("%6s  %10s  %9s  %8s\n", "jobs", "wall ms", "runs/sec", "speedup");
+  std::printf("%6s  %10s  %9s  %8s  %12s\n", "jobs", "wall ms", "runs/sec",
+              "speedup", "allocs/run");
 
   obs::MetricsRegistry reg;
+  bench::emit_build_info(reg);
   std::vector<exec::RunOutcome> baseline;
   double serial_runs_per_sec = 0.0;
   double speedup_at_8 = 0.0;
   bool parity_ok = true;
 
   for (const std::size_t jobs : job_points) {
+    const auto alloc_snap = testing::take_alloc_snapshot();
     const auto t0 = std::chrono::steady_clock::now();
     const auto outcomes = exec::run_sweep(artifacts.value(), specs, jobs);
+    const double allocs_per_run =
+        static_cast<double>(testing::allocations_since(alloc_snap)) / seeds;
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -123,12 +135,14 @@ int run(int argc, char** argv) {
     const double speedup =
         serial_runs_per_sec > 0.0 ? runs_per_sec / serial_runs_per_sec : 0.0;
     if (jobs == 8) speedup_at_8 = speedup;
-    std::printf("%6zu  %10.1f  %9.1f  %7.2fx\n", jobs, wall_ms, runs_per_sec, speedup);
+    std::printf("%6zu  %10.1f  %9.1f  %7.2fx  %12.0f\n", jobs, wall_ms,
+                runs_per_sec, speedup, allocs_per_run);
 
     const obs::Labels labels{{"jobs", std::to_string(jobs)}};
     reg.gauge("sweep.wall_ms", labels).set(wall_ms);
     reg.gauge("sweep.runs_per_sec", labels).set(runs_per_sec);
     reg.gauge("sweep.speedup", labels).set(speedup);
+    reg.gauge("sweep.allocs_per_run", labels).set(allocs_per_run);
   }
   reg.gauge("sweep.seeds").set(static_cast<double>(seeds));
   reg.gauge("sweep.hardware_threads").set(static_cast<double>(hw));

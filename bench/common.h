@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "trace/citylab.h"
 #include "util/logging.h"
+#include "util/simd.h"
 #include "util/strings.h"
 
 namespace bass::bench {
@@ -35,6 +36,36 @@ inline void print_header(const std::string& title) {
     util::set_log_level(util::LogLevel::kError);
   }
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Machine/build metadata for baseline comparability: one "build.info" gauge
+// whose labels carry the compiler, build type, flags, and SIMD/sanitizer
+// state. A checked-in baseline is only meaningful against a comparable
+// build, and this row is how a reader (or CI) tells at a glance whether
+// two BENCH_*.json files can be compared.
+inline void emit_build_info(obs::MetricsRegistry& registry) {
+#ifdef BASS_BUILD_TYPE
+  const char* build_type = BASS_BUILD_TYPE;
+#else
+  const char* build_type = "unknown";
+#endif
+#ifdef BASS_CXX_FLAGS
+  const char* flags = BASS_CXX_FLAGS;
+#else
+  const char* flags = "";
+#endif
+  bool sanitized = false;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  sanitized = true;
+#endif
+  registry
+      .gauge("build.info",
+             {{"compiler", __VERSION__},
+              {"build_type", build_type},
+              {"flags", flags},
+              {"simd", util::simd::kCompiled ? "on" : "off"},
+              {"sanitizer", sanitized ? "on" : "off"}})
+      .set(1.0);
 }
 
 // Writes BENCH_<name>.json through the metrics snapshot path: callers put

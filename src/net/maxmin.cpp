@@ -11,12 +11,48 @@
 
 namespace bass::net {
 
+namespace {
+
+// 4-ary min-heap primitives over (level, dense link) entries. Quarter the
+// depth of a binary heap and sift-down-in-place re-keying (levels only
+// rise) make retire/re-key/pop single-sift operations. The index tiebreak
+// makes the ordering total, so the pop sequence — and with it the solve —
+// is independent of heap shape.
+using HeapEntry = std::pair<double, std::uint32_t>;
+
+inline void heap_sift_down(HeapEntry* h, std::size_t n, std::size_t i) {
+  const HeapEntry v = h[i];
+  for (;;) {
+    const std::size_t c = 4 * i + 1;
+    if (c >= n) break;
+    std::size_t m = c;
+    const std::size_t end = std::min(c + 4, n);
+    for (std::size_t j = c + 1; j < end; ++j) {
+      if (h[j] < h[m]) m = j;
+    }
+    if (!(h[m] < v)) break;
+    h[i] = h[m];
+    i = m;
+  }
+  h[i] = v;
+}
+
+inline void heap_build(HeapEntry* h, std::size_t n) {
+  if (n < 2) return;
+  for (std::size_t i = (n - 2) / 4 + 1; i-- > 0;) heap_sift_down(h, n, i);
+}
+
+inline void heap_pop(HeapEntry* h, std::size_t& n) {
+  h[0] = h[--n];
+  if (n > 1) heap_sift_down(h, n, 0);
+}
+
+}  // namespace
+
 void MaxMinSolver::ensure_links(std::size_t nl) {
   if (link_stamp_.size() >= nl) return;
   link_stamp_.resize(nl, 0);
-  remaining_.resize(nl, 0.0);
-  unfrozen_on_link_.resize(nl, 0);
-  flows_on_link_.resize(nl);
+  link_dense_.resize(nl, 0);
 }
 
 const std::vector<double>& MaxMinSolver::solve(
@@ -24,54 +60,112 @@ const std::vector<double>& MaxMinSolver::solve(
     const std::vector<AllocEntityRef>& entities) {
   BASS_OBS_SCOPE("net.maxmin.solve_us");
   const std::size_t nf = entities.size();
-  rates_.assign(nf, 0.0);
-  frozen_.assign(nf, 0);
+  rates_.assign(nf, 0.0);  // assign() reuses capacity: no alloc at steady state
   ensure_links(capacities.size());
   ++stamp_;
   if (stamp_ == 0) {  // wrapped: invalidate every stale stamp
     std::fill(link_stamp_.begin(), link_stamp_.end(), 0u);
     stamp_ = 1;
   }
-  active_links_.clear();
-  demand_order_.clear();
   last_rounds_ = 0;
 
+  // Pass 0: total path length T over demanding entities bounds every dense
+  // array (≤ T distinct active links, exactly T CSR slots both ways), so
+  // one arena reset up front covers the whole solve. The bound is padded
+  // past the worst-case carve sum (nf·17 + T·60 + ~112 incl. alignment).
+  std::size_t total_links = 0;
+  for (const AllocEntityRef& e : entities) {
+    if (e.demand > 0.0) total_links += e.links->size();
+  }
+  const std::size_t T = total_links;
+  arena_.reset(nf * 32 + T * 72 + 128);
+  demand_ = arena_.alloc<double>(nf);
+  frozen_ = arena_.alloc<char>(nf);
+  demand_events_ = arena_.alloc<HeapEntry>(nf);
+  flow_off_ = arena_.alloc<std::uint32_t>(nf + 1);
+  flow_dense_ = arena_.alloc<std::uint32_t>(T);
+  active_links_ = arena_.alloc<LinkId>(T);
+  remaining_ = arena_.alloc<double>(T);
+  unfrozen_ = arena_.alloc<double>(T);
+  share_ = arena_.alloc<double>(T);
+  offered_ = arena_.alloc<double>(T);
+  csr_off_ = arena_.alloc<std::uint32_t>(T + 1);
+  csr_pos_ = arena_.alloc<std::uint32_t>(T);
+  csr_flows_ = arena_.alloc<std::int32_t>(T);
+  heap_ = arena_.alloc<HeapEntry>(T);
+
+  // Pass 1: stamp links into dense slots (index = discovery order, so the
+  // layout — and with it every tie-break — is deterministic), record each
+  // flow's path as dense indices (flow CSR), and count flows per link.
+  std::size_t num_active = 0;   // K: distinct active links
+  std::size_t num_finite = 0;   // flows with a finite demand cap
   std::size_t unfrozen_count = 0;
+  std::uint32_t cursor = 0;
+  flow_off_[0] = 0;
   for (std::size_t f = 0; f < nf; ++f) {
     const AllocEntityRef& e = entities[f];
     if (e.demand <= 0.0) {
       frozen_[f] = 1;
+      demand_[f] = 0.0;
+      flow_off_[f + 1] = cursor;
       continue;
     }
     assert(e.links != nullptr && !e.links->empty() &&
            "demanding entity must traverse links");
+    frozen_[f] = 0;
+    demand_[f] = e.demand;
     ++unfrozen_count;
     if (e.demand < static_cast<double>(kUnlimitedRate)) {
-      demand_order_.push_back(static_cast<int>(f));
+      demand_events_[num_finite++] = {e.demand, static_cast<std::uint32_t>(f)};
     }
     for (LinkId l : *e.links) {
       const auto li = static_cast<std::size_t>(l);
       assert(l >= 0 && li < capacities.size());
       if (link_stamp_[li] != stamp_) {
         link_stamp_[li] = stamp_;
-        remaining_[li] = capacities[li];
-        unfrozen_on_link_[li] = 0;
-        flows_on_link_[li].clear();
-        active_links_.push_back(l);
+        link_dense_[li] = static_cast<std::uint32_t>(num_active);
+        active_links_[num_active] = l;
+        csr_pos_[num_active] = 0;
+        offered_[num_active] = 0.0;
+        ++num_active;
       }
-      ++unfrozen_on_link_[li];
-      flows_on_link_[li].push_back(static_cast<int>(f));
+      const std::uint32_t k = link_dense_[li];
+      ++csr_pos_[k];
+      offered_[k] += e.demand;
+      flow_dense_[cursor++] = k;
+    }
+    flow_off_[f + 1] = cursor;
+  }
+  const std::size_t K = num_active;
+
+  // Pass 2: prefix-sum the per-link counts into CSR offsets; csr_pos_
+  // becomes the fill cursor. unfrozen_ doubles as the count (a double so
+  // the fair-share scan divides without converting), remaining_ starts at
+  // capacity.
+  std::uint32_t run = 0;
+  for (std::size_t k = 0; k < K; ++k) {
+    csr_off_[k] = run;
+    const std::uint32_t cnt = csr_pos_[k];
+    run += cnt;
+    csr_pos_[k] = csr_off_[k];
+    remaining_[k] = capacities[static_cast<std::size_t>(active_links_[k])];
+    unfrozen_[k] = static_cast<double>(cnt);
+  }
+  csr_off_[K] = run;
+
+  // Pass 3: scatter flows into the link CSR through the cursors.
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::uint32_t t = flow_off_[f]; t < flow_off_[f + 1]; ++t) {
+      csr_flows_[csr_pos_[flow_dense_[t]]++] = static_cast<std::int32_t>(f);
     }
   }
 
   // Ascending demand frontier: the next flow to demand-freeze is always at
   // `next_demand`, so a round never scans the whole flow set for the
-  // smallest remaining demand. Ties broken by index for determinism.
-  std::sort(demand_order_.begin(), demand_order_.end(), [&](int a, int b) {
-    const double da = entities[static_cast<std::size_t>(a)].demand;
-    const double db = entities[static_cast<std::size_t>(b)].demand;
-    return da != db ? da < db : a < b;
-  });
+  // smallest remaining demand. Sorting (demand, flow) pairs keys the
+  // comparison in-array (no indirection) and ties break by index for
+  // determinism — pair ordering is exactly (demand asc, flow asc).
+  std::sort(demand_events_, demand_events_ + num_finite);
   std::size_t next_demand = 0;
 
   // Event-driven filling: instead of raising a water level in increments
@@ -81,78 +175,98 @@ const std::vector<double>& MaxMinSolver::solve(
   // raises L_sat of the links it crossed (remaining drops by L ≤ L_sat,
   // unfrozen drops by 1), so heap entries are lower bounds and can be
   // revalidated lazily on pop: each round costs O(log) plus the freezes it
-  // performs, never a scan of the active link set.
-  const auto heap_greater = std::greater<std::pair<double, LinkId>>();
-  heap_.clear();
-  heap_.reserve(active_links_.size());
-  for (LinkId l : active_links_) {
-    const auto li = static_cast<std::size_t>(l);
-    heap_.emplace_back(remaining_[li] / unfrozen_on_link_[li], l);
+  // performs, never a scan of the active link set. The initial saturation
+  // scan is the vectorized fair-share kernel over the dense SoA.
+  // Only links that can actually saturate enter the heap: a link whose
+  // offered load (Σ demand of its flows, with kUnlimitedRate dwarfing any
+  // capacity) fits inside its capacity never runs out of headroom — each of
+  // its flows demand-freezes first, since the global demand frontier is
+  // always at or below such a link's fair share. Skipping them (typically
+  // most links in a demand-capped workload) shrinks the heap and eliminates
+  // their retire pops; they still take freeze subtractions, which is
+  // harmless bookkeeping.
+  util::simd::fair_share(share_, remaining_, unfrozen_, K, use_simd_);
+  std::size_t heap_size = 0;
+  for (std::size_t k = 0; k < K; ++k) {
+    if (offered_[k] > remaining_[k]) {
+      heap_[heap_size++] = {share_[k], static_cast<std::uint32_t>(k)};
+    }
   }
-  std::make_heap(heap_.begin(), heap_.end(), heap_greater);
+  heap_build(heap_, heap_size);
 
   // Every unfrozen flow has received exactly the common raises since round
   // 0, so the water level IS its running allocation; freezing records the
   // level (or the demand) instead of accumulating per-flow.
   double level = 0.0;
 
-  auto freeze = [&](int f, double rate) {
-    frozen_[static_cast<std::size_t>(f)] = 1;
-    rates_[static_cast<std::size_t>(f)] = rate;
+  auto freeze = [&](std::int32_t f, double rate) {
+    const auto fi = static_cast<std::size_t>(f);
+    frozen_[fi] = 1;
+    rates_[fi] = rate;
     --unfrozen_count;
-    for (LinkId l : *entities[static_cast<std::size_t>(f)].links) {
-      const auto li = static_cast<std::size_t>(l);
-      remaining_[li] -= rate;
-      --unfrozen_on_link_[li];
-    }
+    util::simd::freeze_subtract(remaining_, unfrozen_,
+                                flow_dense_ + flow_off_[fi],
+                                flow_off_[fi + 1] - flow_off_[fi], rate);
   };
 
   // Each round freezes at least one flow; the guard is float head room.
   std::size_t guard = nf + 2;
   while (unfrozen_count > 0 && guard-- > 0) {
     ++last_rounds_;
-    // Next link-saturation event, revalidating stale heap entries.
+    // Next demand event.
+    while (next_demand < num_finite &&
+           frozen_[demand_events_[next_demand].second]) {
+      ++next_demand;
+    }
+    const double demand_level = next_demand < num_finite
+                                    ? demand_events_[next_demand].first
+                                    : std::numeric_limits<double>::infinity();
+
+    // O(1) fast path. Heap keys are lower bounds and every live link keeps
+    // an entry, so the (possibly stale) top already lower-bounds the true
+    // minimum saturation level: a demand at or below it is necessarily the
+    // next event, and the round costs one compare plus the freeze — no
+    // revalidation. Most rounds of a finite-demand-heavy workload land
+    // here.
+    if (next_demand < num_finite &&
+        (heap_size == 0 || demand_level <= heap_[0].first + kAllocEps)) {
+      level = std::max(level, demand_level);
+      const std::uint32_t f = demand_events_[next_demand++].second;
+      freeze(static_cast<std::int32_t>(f), demand_[f]);
+      continue;
+    }
+
+    // Slow path: find the next link-saturation event, revalidating stale
+    // heap entries lazily.
     double link_level = std::numeric_limits<double>::infinity();
-    std::size_t link_idx = 0;  // valid only when link_level is finite
-    while (!heap_.empty()) {
-      const auto [stored, l] = heap_.front();
-      const auto li = static_cast<std::size_t>(l);
-      if (unfrozen_on_link_[li] <= 0) {  // fully frozen: retire the link
-        std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
-        heap_.pop_back();
+    std::size_t link_idx = 0;  // dense; valid only when link_level is finite
+    while (heap_size > 0) {
+      const auto [stored, k] = heap_[0];
+      if (unfrozen_[k] <= 0.0) {  // fully frozen: retire the link
+        heap_pop(heap_, heap_size);
         continue;
       }
-      const double cur = remaining_[li] / unfrozen_on_link_[li];
-      if (cur > stored + kAllocEps) {  // stale lower bound: re-key
-        std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
-        heap_.back().first = cur;
-        std::push_heap(heap_.begin(), heap_.end(), heap_greater);
+      const double cur = remaining_[k] / unfrozen_[k];
+      if (cur > stored + kAllocEps) {  // stale lower bound: re-key in place
+        heap_[0].first = cur;
+        heap_sift_down(heap_, heap_size, 0);
         continue;
       }
       link_level = std::max(cur, level);  // float noise may lag the level
-      link_idx = li;
+      link_idx = k;
       break;
     }
-    // Next demand event.
-    while (next_demand < demand_order_.size() &&
-           frozen_[static_cast<std::size_t>(demand_order_[next_demand])]) {
-      ++next_demand;
-    }
-    const double demand_level =
-        next_demand < demand_order_.size()
-            ? entities[static_cast<std::size_t>(demand_order_[next_demand])].demand
-            : std::numeric_limits<double>::infinity();
     if (!std::isfinite(std::min(link_level, demand_level))) break;
 
     if (demand_level <= link_level + kAllocEps) {
       level = std::max(level, demand_level);
-      const int f = demand_order_[next_demand++];
-      freeze(f, entities[static_cast<std::size_t>(f)].demand);
+      const std::uint32_t f = demand_events_[next_demand++].second;
+      freeze(static_cast<std::int32_t>(f), demand_[f]);
     } else {
       level = std::max(level, link_level);
-      std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
-      heap_.pop_back();
-      for (int f : flows_on_link_[link_idx]) {
+      heap_pop(heap_, heap_size);
+      for (std::uint32_t i = csr_off_[link_idx]; i < csr_off_[link_idx + 1]; ++i) {
+        const std::int32_t f = csr_flows_[i];
         if (!frozen_[static_cast<std::size_t>(f)]) freeze(f, level);
       }
     }
@@ -161,9 +275,9 @@ const std::vector<double>& MaxMinSolver::solve(
   // Guard exhaustion (pathological float behaviour): pin leftovers at the
   // final level, mirroring the reference kernel's running allocations.
   for (std::size_t f = 0; f < nf; ++f) {
-    if (!frozen_[f]) rates_[f] = std::min(entities[f].demand, level);
-    if (rates_[f] < 0.0) rates_[f] = 0.0;
+    if (!frozen_[f]) rates_[f] = std::min(demand_[f], level);
   }
+  util::simd::clamp_nonnegative(rates_.data(), nf, use_simd_);
   return rates_;
 }
 

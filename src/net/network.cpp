@@ -41,6 +41,14 @@ Network::Network(sim::Simulation& sim, Topology topology, NetworkConfig config)
         static_cast<double>(topology_.link(l).capacity);
     nominal_capacity_[static_cast<std::size_t>(l)] = topology_.link(l).capacity;
   }
+  // Routing is fixed for the Network's lifetime, so the longest routed path
+  // bounds every entity path forever — it sizes the flat link_pos pool.
+  for (NodeId s = 0; s < topology_.node_count(); ++s) {
+    for (NodeId d = 0; d < topology_.node_count(); ++d) {
+      link_pos_stride_ = std::max(
+          link_pos_stride_, static_cast<std::size_t>(routing_.hops(s, d)));
+    }
+  }
 }
 
 Network::BatchUpdate::BatchUpdate(Network& net) : net_(net) { ++net_.batch_depth_; }
@@ -140,6 +148,7 @@ int Network::add_entity(double demand, const std::vector<LinkId>* path,
     slot = static_cast<int>(entities_.size());
     entities_.emplace_back();
     entity_visit_.push_back(0);
+    link_pos_pool_.resize(entities_.size() * link_pos_stride_);
   }
   Entity& e = entities_[static_cast<std::size_t>(slot)];
   e.demand = demand;
@@ -148,10 +157,11 @@ int Network::add_entity(double demand, const std::vector<LinkId>* path,
   e.stream = st;
   e.key = key;
   e.active = true;
-  e.link_pos.resize(path->size());
+  assert(path->size() <= link_pos_stride_ && "path exceeds routed maximum");
+  std::uint32_t* pos = link_pos(slot);
   for (std::size_t i = 0; i < path->size(); ++i) {
     auto& occupants = link_entities_[static_cast<std::size_t>((*path)[i])];
-    e.link_pos[i] = static_cast<std::uint32_t>(occupants.size());
+    pos[i] = static_cast<std::uint32_t>(occupants.size());
     occupants.push_back({slot, static_cast<std::uint32_t>(i)});
   }
   ++active_entity_count_;
@@ -163,13 +173,14 @@ int Network::add_entity(double demand, const std::vector<LinkId>* path,
 void Network::remove_entity(int slot) {
   Entity& e = entities_[static_cast<std::size_t>(slot)];
   assert(e.active);
+  const std::uint32_t* my_pos = link_pos(slot);
   for (std::size_t i = 0; i < e.path->size(); ++i) {
     const LinkId l = (*e.path)[i];
     auto& occupants = link_entities_[static_cast<std::size_t>(l)];
-    const std::uint32_t pos = e.link_pos[i];
+    const std::uint32_t pos = my_pos[i];
     occupants[pos] = occupants.back();
     const LinkRef moved = occupants[pos];
-    entities_[static_cast<std::size_t>(moved.slot)].link_pos[moved.path_idx] = pos;
+    link_pos(moved.slot)[moved.path_idx] = pos;
     occupants.pop_back();
     // The vacated capacity may redistribute to whatever shared this link.
     dirty_links_.push_back(l);
@@ -180,7 +191,6 @@ void Network::remove_entity(int slot) {
   e.channel = nullptr;
   e.stream = nullptr;
   e.path = nullptr;
-  e.link_pos.clear();
   free_slots_.push_back(slot);
 }
 
@@ -250,22 +260,45 @@ bool Network::cancel_transfer(TransferId id) {
   return true;
 }
 
+Network::Stream* Network::find_stream(StreamId id) {
+  const std::uint32_t slot = stream_slot_of(id);
+  if (slot >= stream_slots_.size()) return nullptr;
+  StreamSlot& s = stream_slots_[slot];
+  if (!s.open || s.generation != static_cast<std::uint32_t>(id >> 32)) return nullptr;
+  return &s.stream;
+}
+
+const Network::Stream* Network::find_stream(StreamId id) const {
+  return const_cast<Network*>(this)->find_stream(id);
+}
+
 StreamId Network::open_stream(NodeId src, NodeId dst, Bps demand, Tag tag) {
-  const StreamId id = next_stream_++;
-  Stream st;
-  st.src = src;
-  st.dst = dst;
-  st.demand = std::max<Bps>(demand, 0);
-  st.tag = tag;
-  st.last_update = sim_->now();
+  std::uint32_t slot;
+  if (!stream_free_.empty()) {
+    slot = stream_free_.back();
+    stream_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(stream_slots_.size());
+    stream_slots_.emplace_back();
+  }
+  StreamSlot& placed_slot = stream_slots_[slot];
+  placed_slot.open = true;
+  ++open_streams_;
+  const StreamId id =
+      (static_cast<StreamId>(placed_slot.generation) << 32) | slot;
+  Stream& placed = placed_slot.stream;
+  placed = Stream{};  // reset a reused slot (Stream owns no heap state)
+  placed.src = src;
+  placed.dst = dst;
+  placed.demand = std::max<Bps>(demand, 0);
+  placed.tag = tag;
+  placed.last_update = sim_->now();
   if (src == dst) {
     // Loopback streams always run at full demand.
-    st.rate_bps = static_cast<double>(st.demand);
-    streams_[id] = st;
+    placed.rate_bps = static_cast<double>(placed.demand);
     return id;
   }
   assert(routing_.reachable(src, dst) && "stream between partitioned nodes");
-  Stream& placed = streams_[id] = st;
   if (placed.demand > 0) {
     placed.entity_slot =
         add_entity(static_cast<double>(placed.demand),
@@ -276,9 +309,9 @@ StreamId Network::open_stream(NodeId src, NodeId dst, Bps demand, Tag tag) {
 }
 
 void Network::set_stream_demand(StreamId id, Bps demand) {
-  auto it = streams_.find(id);
-  if (it == streams_.end()) return;
-  Stream& st = it->second;
+  Stream* stp = find_stream(id);
+  if (stp == nullptr) return;  // stale handle: no-op by contract
+  Stream& st = *stp;
   demand = std::max<Bps>(demand, 0);
   if (st.demand == demand) return;
   if (st.src == st.dst) {
@@ -308,23 +341,27 @@ void Network::set_stream_demand(StreamId id, Bps demand) {
 }
 
 void Network::close_stream(StreamId id) {
-  auto it = streams_.find(id);
-  if (it == streams_.end()) return;
-  Stream& st = it->second;
+  Stream* stp = find_stream(id);
+  if (stp == nullptr) return;  // stale or double close: safe no-op
+  Stream& st = *stp;
   settle_stream(st);
   const bool meshed = st.entity_slot >= 0;
   if (meshed) {
     remove_entity(st.entity_slot);
     st.entity_slot = -1;
   }
-  streams_.erase(it);
+  StreamSlot& s = stream_slots_[stream_slot_of(id)];
+  s.open = false;
+  ++s.generation;  // outstanding copies of `id` are stale from here on
+  stream_free_.push_back(stream_slot_of(id));
+  --open_streams_;
   if (meshed) reallocate();
 }
 
 Bps Network::stream_rate(StreamId id) const {
-  const auto it = streams_.find(id);
-  if (it == streams_.end()) return 0;
-  return static_cast<Bps>(it->second.rate_bps);
+  const Stream* st = find_stream(id);
+  if (st == nullptr) return 0;
+  return static_cast<Bps>(st->rate_bps);
 }
 
 Bps Network::path_capacity(NodeId src, NodeId dst) const {
@@ -409,7 +446,9 @@ void Network::settle_all() {
   for (const Entity& e : entities_) {
     if (e.active && e.channel != nullptr) settle_channel(*e.channel);
   }
-  for (auto& [id, st] : streams_) settle_stream(st);
+  for (StreamSlot& s : stream_slots_) {
+    if (s.open) settle_stream(s.stream);
+  }
 }
 
 void Network::collect_component(const std::vector<LinkId>& seed_links,

@@ -134,6 +134,11 @@ class Network {
   bool cancel_transfer(TransferId id);
 
   // ---- Streams ----
+  // StreamIds are generation-tagged slot handles ((generation << 32) |
+  // slot): closed ids go stale instead of dangling, so a stale id reads
+  // rate 0, set_stream_demand is a no-op, and double-close is safe. Slots
+  // are free-listed, so steady-state stream churn reuses storage instead of
+  // allocating.
   StreamId open_stream(NodeId src, NodeId dst, Bps demand, Tag tag = 0);
   void set_stream_demand(StreamId id, Bps demand);
   void close_stream(StreamId id);
@@ -167,7 +172,7 @@ class Network {
   std::size_t active_channel_count() const {
     return static_cast<std::size_t>(active_channel_entities_);
   }
-  std::size_t stream_count() const { return streams_.size(); }
+  std::size_t stream_count() const { return open_streams_; }
 
  private:
   struct Transfer {
@@ -209,9 +214,6 @@ class Network {
     Stream* stream = nullptr;
     std::int64_t key = 0;  // channel key (head-event scheduling)
     bool active = false;
-    // link_pos[i] is this slot's index within link_entities_[(*path)[i]],
-    // making detach an O(path) swap-remove instead of a list scan.
-    std::vector<std::uint32_t> link_pos;
   };
   struct LinkRef {
     int slot = 0;
@@ -252,14 +254,44 @@ class Network {
   RoutingTable routing_;
   NetworkConfig config_;
 
+  // Stream storage. A deque gives pointer stability (Entity::stream points
+  // into a slot) without per-stream allocations; closed slots are
+  // free-listed and their generation bumped, so stale StreamIds miss in
+  // O(1). A slot's generation wraps after 2^32 closes — accepted: an id
+  // would have to be held across four billion reuses of its slot to alias.
+  struct StreamSlot {
+    Stream stream;
+    std::uint32_t generation = 1;
+    bool open = false;
+  };
+  static std::uint32_t stream_slot_of(StreamId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  Stream* find_stream(StreamId id);
+  const Stream* find_stream(StreamId id) const;
+
   std::unordered_map<std::int64_t, Channel> channels_;  // keyed by (src,dst)
-  std::unordered_map<StreamId, Stream> streams_;
+  std::deque<StreamSlot> stream_slots_;
+  std::vector<std::uint32_t> stream_free_;
+  std::size_t open_streams_ = 0;
   std::unordered_map<TransferId, std::int64_t> transfer_channel_;  // id -> key
 
   // ---- Entity cache ----
   std::vector<Entity> entities_;
   std::vector<int> free_slots_;
   std::vector<std::vector<LinkRef>> link_entities_;  // per-link active slots
+  // link_pos(slot)[i] is the slot's index within link_entities_[(*path)[i]],
+  // making detach an O(path) swap-remove instead of a list scan. Stored as
+  // one flat pool strided by the longest routed path (routing is fixed at
+  // construction), so entity-slot reuse never resizes anything — a reused
+  // slot with a longer path was the last steady-state allocation in the
+  // churn loop.
+  std::vector<std::uint32_t> link_pos_pool_;
+  std::size_t link_pos_stride_ = 1;
+  std::uint32_t* link_pos(int slot) {
+    return link_pos_pool_.data() +
+           static_cast<std::size_t>(slot) * link_pos_stride_;
+  }
   int active_entity_count_ = 0;
   int active_channel_entities_ = 0;
 
@@ -298,7 +330,6 @@ class Network {
   obs::Histogram* m_alloc_pass_us_ = nullptr;
 
   TransferId next_transfer_ = 1;
-  StreamId next_stream_ = 1;
   std::int64_t total_bytes_delivered_ = 0;
   AllocStats alloc_stats_;
   int batch_depth_ = 0;

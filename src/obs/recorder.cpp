@@ -21,7 +21,9 @@ std::atomic<Recorder*> g_default_recorder{nullptr};
 }  // namespace
 
 Recorder::Recorder(RecorderConfig config)
-    : enabled_(config.enabled), journal_(config.journal_capacity) {
+    : enabled_(config.enabled),
+      journal_(config.journal_capacity),
+      deferred_(config.deferred_capacity) {
   // One counter per variant alternative, so record() indexes instead of
   // hashing. Instantiate each alternative to name its counter.
   const Event samples[] = {
@@ -39,10 +41,11 @@ Recorder::Recorder(RecorderConfig config)
   }
 }
 
-void Recorder::record(Event event) {
-  if (!enabled_) return;
-  type_counters_[event.index()]->inc();
-  journal_.record(std::move(event));
+void Recorder::flush_deferred() {
+  for (std::size_t i = 0; i < deferred_count_; ++i) {
+    emit_slot(deferred_[i], std::make_index_sequence<std::variant_size_v<Event>>{});
+  }
+  deferred_count_ = 0;
 }
 
 Recorder* global_recorder() {

@@ -1,0 +1,68 @@
+// Bump arena for hot-path scratch. A solver owns one arena and carves its
+// per-round transient arrays out of it at the start of every solve:
+// `reset(bound)` guarantees capacity for the whole round up front (growing
+// at most once, while no carvings are outstanding), then `alloc<T>(n)` is a
+// pointer bump. Once the arena has grown to the workload's high-water mark,
+// steady-state rounds perform zero heap allocations — the property the
+// allocation gate in bench_alloc_fastpath holds.
+//
+// Contract: pointers returned by alloc() are valid until the next reset();
+// reset() never preserves contents. Only trivially-destructible types may
+// be carved (nothing runs destructors).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+namespace bass::util {
+
+class Arena {
+ public:
+  // Discards all outstanding carvings and guarantees that `bytes` bytes can
+  // be alloc()'d before the next reset. Growth doubles, so repeated resets
+  // with slowly-rising bounds settle quickly.
+  void reset(std::size_t bytes) {
+    if (bytes > capacity_) {
+      std::size_t want = capacity_ == 0 ? 1024 : capacity_;
+      while (want < bytes) want *= 2;
+      // Plain new[] (not make_unique) to skip value-initialization: the
+      // arena hands out uninitialized memory by design.
+      buffer_.reset(new std::byte[want]);
+      capacity_ = want;
+      ++growths_;
+    }
+    used_ = 0;
+  }
+
+  // Carves `count` elements of T. The caller's reset() bound must cover
+  // every carving of the round including alignment slack (alloc never
+  // grows — growth would dangle earlier carvings).
+  template <class T>
+  T* alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    const std::size_t aligned = (used_ + alignof(T) - 1) & ~(alignof(T) - 1);
+    const std::size_t end = aligned + count * sizeof(T);
+    assert(end <= capacity_ && "arena reset() bound was too small");
+    used_ = end;
+    return reinterpret_cast<T*>(buffer_.get() + aligned);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  // Times the backing buffer was (re)allocated — a warmed-up arena stops
+  // growing, which tests assert directly.
+  std::int64_t growths() const { return growths_; }
+
+ private:
+  std::unique_ptr<std::byte[]> buffer_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::int64_t growths_ = 0;
+};
+
+}  // namespace bass::util

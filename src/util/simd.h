@@ -1,0 +1,111 @@
+// Portable 4-wide SIMD kernels for the max-min water-filling hot path.
+//
+// Built on GCC/Clang vector extensions (no arch-specific intrinsics: the
+// compiler lowers to AVX, SSE pairs, NEON, or scalar code as the target
+// allows). The scalar reference path is always compiled and selectable at
+// runtime via each kernel's `use_simd` flag, so property tests cross-check
+// the two bit-for-bit: every kernel is element-wise (no reassociated
+// reductions), and element-wise IEEE-754 arithmetic is identical between
+// the vector and scalar forms by construction.
+//
+// The compile-time toggle is the BASS_SIMD CMake option (default ON). With
+// it off — or on a compiler without vector extensions — kCompiled is false
+// and the `use_simd` flag is a no-op, leaving only the scalar path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(BASS_SIMD) && defined(__GNUC__)
+#define BASS_SIMD_COMPILED 1
+// The vector type only crosses inline-function boundaries, so the "AVX
+// vector ABI" note GCC emits when 256-bit registers aren't enabled is
+// irrelevant here (the type never appears in an external signature).
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+namespace bass::util::simd {
+
+#ifdef BASS_SIMD_COMPILED
+inline constexpr bool kCompiled = true;
+
+namespace detail {
+typedef double V4 __attribute__((vector_size(32)));
+// memcpy loads/stores compile to unaligned vector moves; the arrays these
+// kernels see are arena-carved with no 32-byte alignment guarantee.
+inline V4 load(const double* p) {
+  V4 v;
+  std::memcpy(&v, p, sizeof(V4));
+  return v;
+}
+inline void store(double* p, V4 v) { std::memcpy(p, &v, sizeof(V4)); }
+}  // namespace detail
+#else
+inline constexpr bool kCompiled = false;
+#endif
+
+// The saturation scan: dst[i] = remaining[i] / unfrozen[i] — each active
+// link's fair share (the water level at which it saturates), computed in
+// bulk to seed the solver's event heap.
+inline void fair_share(double* dst, const double* remaining,
+                       const double* unfrozen, std::size_t n, bool use_simd) {
+  std::size_t i = 0;
+#ifdef BASS_SIMD_COMPILED
+  if (use_simd) {
+    for (; i + 4 <= n; i += 4) {
+      detail::store(dst + i, detail::load(remaining + i) / detail::load(unfrozen + i));
+    }
+  }
+#else
+  (void)use_simd;
+#endif
+  for (; i < n; ++i) dst[i] = remaining[i] / unfrozen[i];
+}
+
+// In-place dst[i] = max(dst[i], 0): the final clamp of float-noise-negative
+// rates. Expression is `x > 0 ? x : 0` in both paths so -0.0 maps to +0.0
+// identically.
+inline void clamp_nonnegative(double* dst, std::size_t n, bool use_simd) {
+  std::size_t i = 0;
+#ifdef BASS_SIMD_COMPILED
+  if (use_simd) {
+    const detail::V4 zero = {0.0, 0.0, 0.0, 0.0};
+    for (; i + 4 <= n; i += 4) {
+      detail::V4 v = detail::load(dst + i);
+      detail::store(dst + i, v > zero ? v : zero);
+    }
+  }
+#else
+  (void)use_simd;
+#endif
+  for (; i < n; ++i) dst[i] = dst[i] > 0.0 ? dst[i] : 0.0;
+}
+
+// The frozen-flow subtraction: remaining[idx[j]] -= rate and
+// unfrozen[idx[j]] -= 1 for each link index on a freezing flow's path.
+// A scatter has no portable vector form, so this is the 4-wide ILP-unrolled
+// variant: a flow's path holds no duplicate links (AllocEntity contract),
+// so the four lanes never alias and the compiler can overlap them.
+inline void freeze_subtract(double* remaining, double* unfrozen,
+                            const std::uint32_t* idx, std::size_t n,
+                            double rate) {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const std::uint32_t a = idx[j], b = idx[j + 1], c = idx[j + 2], d = idx[j + 3];
+    remaining[a] -= rate;
+    remaining[b] -= rate;
+    remaining[c] -= rate;
+    remaining[d] -= rate;
+    unfrozen[a] -= 1.0;
+    unfrozen[b] -= 1.0;
+    unfrozen[c] -= 1.0;
+    unfrozen[d] -= 1.0;
+  }
+  for (; j < n; ++j) {
+    remaining[idx[j]] -= rate;
+    unfrozen[idx[j]] -= 1.0;
+  }
+}
+
+}  // namespace bass::util::simd

@@ -153,6 +153,50 @@ TEST(Network, StreamDemandChange) {
   EXPECT_NEAR(static_cast<double>(f.net->stream_rate(s)), 7e6, 1e3);
 }
 
+TEST(Network, StaleStreamIdsAreInertAfterSlotReuse) {
+  Fixture f;
+  const StreamId first = f.net->open_stream(0, 1, mbps(3));
+  f.net->close_stream(first);
+  // The slot is reused, but the generation tag makes the new id distinct
+  // and the old one stale.
+  const StreamId second = f.net->open_stream(0, 1, mbps(5));
+  EXPECT_NE(first, second);
+  EXPECT_EQ(f.net->stream_rate(first), 0);
+  EXPECT_NEAR(static_cast<double>(f.net->stream_rate(second)), 5e6, 1e3);
+
+  // Operations through the stale id must not disturb the live stream.
+  f.net->set_stream_demand(first, mbps(1));
+  EXPECT_NEAR(static_cast<double>(f.net->stream_rate(second)), 5e6, 1e3);
+  f.net->close_stream(first);  // double close: safe no-op
+  EXPECT_EQ(f.net->stream_count(), 1u);
+  EXPECT_NEAR(static_cast<double>(f.net->stream_rate(second)), 5e6, 1e3);
+
+  f.net->close_stream(second);
+  EXPECT_EQ(f.net->stream_count(), 0u);
+  EXPECT_EQ(f.net->stream_rate(second), 0);
+}
+
+TEST(Network, StreamSlotReuseSurvivesHeavyChurn) {
+  Fixture f;
+  std::vector<StreamId> live;
+  std::vector<StreamId> dead;
+  for (int round = 0; round < 50; ++round) {
+    live.push_back(f.net->open_stream(0, 1, mbps(1 + round % 5)));
+    if (live.size() > 3) {
+      f.net->close_stream(live.front());
+      dead.push_back(live.front());
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_EQ(f.net->stream_count(), live.size());
+  for (StreamId id : dead) {
+    EXPECT_EQ(f.net->stream_rate(id), 0) << "stale id " << id << " resolved";
+  }
+  for (StreamId id : live) {
+    EXPECT_GT(f.net->stream_rate(id), 0) << "live id " << id << " lost";
+  }
+}
+
 TEST(Network, TagByteAccounting) {
   Fixture f;
   f.net->start_transfer(0, 1, 500'000, [] {}, /*tag=*/42);

@@ -180,6 +180,74 @@ TEST(Recorder, ScopedTimerFeedsTimerHistogram) {
   EXPECT_EQ(rec.metrics().timer_us("solve_us").count(), 1);
 }
 
+// ---- Deferred-encode ring ----
+
+TEST(Recorder, DeferredEventsFlushInEmitOrder) {
+  Recorder rec({.journal_capacity = 64, .deferred_capacity = 8});
+  // POD events stage; the string-bearing ScheduleDecision must flush them
+  // first so the journal preserves interleaved emit order exactly.
+  rec.record(HeadroomViolation{sim::seconds(1), 3, 100});
+  rec.record(ControllerRound{sim::seconds(2), 0, 1, 1});
+  EXPECT_EQ(rec.deferred_pending(), 2u);
+  ScheduleDecision sd;
+  sd.at = sim::seconds(3);
+  sd.scheduler = "bass-auto";
+  rec.record(Event{sd});
+  rec.record(HeadroomViolation{sim::seconds(4), 5, 200});
+
+  std::vector<std::string> order;
+  rec.journal().for_each(
+      [&](const Event& e) { order.emplace_back(event_type_name(e)); });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "headroom_violation");
+  EXPECT_EQ(order[1], "controller_round");
+  EXPECT_EQ(order[2], "schedule_decision");
+  EXPECT_EQ(order[3], "headroom_violation");
+  EXPECT_EQ(rec.deferred_pending(), 0u);  // journal() access flushed
+
+  // Payloads survive the memcpy round trip intact.
+  int seen = 0;
+  rec.journal().for_each([&](const Event& e) {
+    if (const auto* hv = std::get_if<HeadroomViolation>(&e)) {
+      ++seen;
+      EXPECT_TRUE((hv->link == 3 && hv->delivered_bps == 100) ||
+                  (hv->link == 5 && hv->delivered_bps == 200));
+    }
+  });
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(Recorder, DeferredRingFullFlushesBeforeStaging) {
+  Recorder rec({.journal_capacity = 64, .deferred_capacity = 4});
+  for (int i = 0; i < 11; ++i) {
+    rec.record(HeadroomViolation{sim::seconds(i), i, i});
+  }
+  // 11 = 2 full ring drains + 3 still staged.
+  EXPECT_EQ(rec.deferred_pending(), 3u);
+  // Counters are live at record time, before any flush.
+  EXPECT_EQ(rec.metrics().counter("events.headroom_violation").value(), 11);
+  // Journal access drains the rest, in order.
+  EXPECT_EQ(rec.journal().size(), 11u);
+  int expect_link = 0;
+  rec.journal().for_each([&](const Event& e) {
+    EXPECT_EQ(std::get<HeadroomViolation>(e).link, expect_link++);
+  });
+}
+
+TEST(Recorder, DeferredCapacityZeroJournalsEagerly) {
+  Recorder rec({.journal_capacity = 16, .deferred_capacity = 0});
+  rec.record(HeadroomViolation{sim::seconds(1), 0, 0});
+  EXPECT_EQ(rec.deferred_pending(), 0u);
+  EXPECT_EQ(rec.journal().size(), 1u);
+}
+
+TEST(Recorder, DisabledRecorderDropsDeferredToo) {
+  Recorder rec({.journal_capacity = 16, .deferred_capacity = 8, .enabled = false});
+  rec.record(HeadroomViolation{sim::seconds(1), 0, 0});
+  EXPECT_EQ(rec.deferred_pending(), 0u);
+  EXPECT_TRUE(rec.journal().empty());
+}
+
 TEST(Recorder, GlobalRecorderDrivesKernelScopes) {
   Recorder rec;
   set_global_recorder(&rec);
