@@ -148,6 +148,25 @@ int run(int argc, char** argv) {
   reg.gauge("sweep.hardware_threads").set(static_cast<double>(hw));
   reg.gauge("sweep.parity_ok").set(parity_ok ? 1.0 : 0.0);
 
+  // Pooled decision latency across the serial pass: every run carried its
+  // own recorder, so the per-run log histograms merge into sweep-wide
+  // percentiles — the load the sweep engine puts on each run's controller.
+  obs::LogHistogram decision_us;
+  for (const exec::RunOutcome& outcome : baseline) {
+    for (const auto& [name, h] : outcome.latency_histograms) {
+      if (name == "orchestrator.decision_us") decision_us.merge(h);
+    }
+  }
+  if (decision_us.count() > 0) {
+    std::printf("\ndecision latency across %llu seeds: p50 %.1f us,"
+                " p99 %.1f us, max %.1f us (%lld rounds)\n",
+                static_cast<unsigned long long>(seeds),
+                decision_us.percentile(0.50), decision_us.percentile(0.99),
+                decision_us.max(), static_cast<long long>(decision_us.count()));
+    reg.gauge("sweep.decision_us_p50").set(decision_us.percentile(0.50));
+    reg.gauge("sweep.decision_us_p99").set(decision_us.percentile(0.99));
+  }
+
   if (!bench::write_bench_json("sweep", reg)) return 1;
   if (!parity_ok) return 1;
 

@@ -67,10 +67,12 @@ void Orchestrator::set_recorder(obs::Recorder* recorder) {
   recorder_ = recorder;
   if (recorder == nullptr) {
     m_place_us_ = nullptr;
+    m_decision_us_ = nullptr;
     m_downtime_ms_ = nullptr;
     return;
   }
-  m_place_us_ = &recorder->metrics().timer_us("sched.place_us");
+  m_place_us_ = &recorder->metrics().log_timer_us("sched.place_us");
+  m_decision_us_ = &recorder->metrics().log_timer_us("orchestrator.decision_us");
   m_downtime_ms_ = &recorder->metrics().histogram(
       "orchestrator.migration_downtime_ms",
       {1, 10, 100, 1000, 5000, 10000, 20000, 30000, 60000, 120000});
@@ -115,6 +117,8 @@ util::Expected<DeploymentId> Orchestrator::deploy(app::AppGraph app, SchedulerKi
     decision.components = app.component_count();
     decision.place_us = place_us;
     decision.success = result.ok();
+    decision.span = recorder_->new_span();
+    decision.parent = recorder_->current_span();
     if (result.ok()) {
       decision.crossing_bps = sched::crossing_bandwidth(app, result.value());
     }
@@ -182,6 +186,8 @@ util::Expected<DeploymentId> Orchestrator::deploy_with_placement(
     decision.components = placed.app.component_count();
     decision.crossing_bps = sched::crossing_bandwidth(placed.app, placed.placement);
     decision.success = true;
+    decision.span = recorder_->new_span();
+    decision.parent = recorder_->current_span();
     recorder_->record(std::move(decision));
   }
   return id;
@@ -246,6 +252,16 @@ void Orchestrator::controller_evaluate(DeploymentId id) {
   Deployment& d = dep(id);
   const auto view = make_view();
   const sim::Time now = sim_->now();
+
+  // Every round gets a span up front (ids from the deterministic counter,
+  // so same-seed runs match) and holds it as the current cause for the
+  // whole evaluation: migrations started below, reallocations the network
+  // solves for them, and anything the round hook journals (invariant
+  // violations) all get parent = this round.
+  const obs::SpanId round_span =
+      recorder_ != nullptr ? recorder_->new_span() : obs::kNoSpan;
+  obs::SpanScope round_scope(recorder_, round_span);
+  const auto wall_start = std::chrono::steady_clock::now();
 
   // Observations for every mesh-crossing edge between live components.
   std::vector<controller::EdgeObservation> observations;
@@ -386,11 +402,24 @@ void Orchestrator::controller_evaluate(DeploymentId id) {
     }
   }
 
+  if (recorder_ != nullptr) {
+    // Decision latency covers the full evaluation — observations, headroom
+    // math, candidate selection, and starting the moves — for every round,
+    // including the quiet ones: p99 over only busy rounds would flatter us.
+    m_decision_us_->observe(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - wall_start)
+                                .count());
+  }
   if (!violating.empty() || started > 0) {
     d.rounds.push_back({now, static_cast<int>(violating.size()), started});
     if (recorder_ != nullptr) {
-      recorder_->record(obs::ControllerRound{
-          now, id, static_cast<int>(violating.size()), started});
+      obs::ControllerRound round;
+      round.at = now;
+      round.deployment = id;
+      round.violating = static_cast<int>(violating.size());
+      round.migrations_started = started;
+      round.span = round_span;
+      recorder_->record(round);
     }
   }
   if (round_hook_) round_hook_(id);
@@ -398,15 +427,19 @@ void Orchestrator::controller_evaluate(DeploymentId id) {
 
 void Orchestrator::note_migration_done(DeploymentId id, app::ComponentId component,
                                        net::NodeId from, net::NodeId to,
-                                       sim::Time went_down, MoveReason reason) {
+                                       sim::Time went_down, MoveReason reason,
+                                       obs::SpanId span, obs::SpanId parent) {
   const sim::Time now = sim_->now();
   migrations_.push_back({now, id, component, from, to,
                          went_down >= 0 ? went_down : now, reason});
   if (recorder_ == nullptr) return;
   const sim::Duration downtime = went_down >= 0 ? now - went_down : 0;
   m_downtime_ms_->observe(sim::to_millis(downtime));
+  // Same span as the MigrationStarted: started/completed are two ends of
+  // one move, and the shared id is what `bassctl journal query --span`
+  // stitches them back together with.
   recorder_->record(obs::MigrationCompleted{now, id, component, from, to, downtime,
-                                            move_reason_name(reason)});
+                                            move_reason_name(reason), span, parent});
 }
 
 bool Orchestrator::migrate(DeploymentId id, app::ComponentId component,
@@ -464,15 +497,22 @@ void Orchestrator::fail_node(net::NodeId node, sim::Duration detection_delay) {
       // Recovery after detection + cold restart; retries internally while
       // the cluster is too full.
       const sim::Time went_down = sim_->now();
+      obs::SpanId span = obs::kNoSpan;
+      obs::SpanId parent = obs::kNoSpan;
       if (recorder_ != nullptr) {
         // Outage begins now; the landing node is unknown until recovery.
+        // When the fault injector triggered this failure, its fault span is
+        // the current cause and becomes this move's parent.
+        span = recorder_->new_span();
+        parent = recorder_->current_span();
         recorder_->record(obs::MigrationStarted{
             went_down, id, c, node, net::kInvalidNode,
-            move_reason_name(MoveReason::kFailover)});
+            move_reason_name(MoveReason::kFailover), span, parent});
       }
       sim_->schedule_after(detection_delay + config_.restart_duration,
-                           [this, id, c, node, went_down] {
-                             recover_component(id, c, node, went_down);
+                           [this, id, c, node, went_down, span, parent] {
+                             recover_component(id, c, node, went_down, span,
+                                               parent);
                            });
     }
   }
@@ -486,13 +526,15 @@ void Orchestrator::recover_node(net::NodeId node) {
 }
 
 void Orchestrator::recover_component(DeploymentId id, app::ComponentId component,
-                                     net::NodeId failed_node, sim::Time went_down) {
+                                     net::NodeId failed_node, sim::Time went_down,
+                                     obs::SpanId span, obs::SpanId parent) {
   Deployment& d = dep(id);
   const auto& comp = d.app.component(component);
-  auto retry = [this, id, component, failed_node, went_down] {
-    sim_->schedule_after(sim::seconds(30), [this, id, component, failed_node, went_down] {
-      recover_component(id, component, failed_node, went_down);
-    });
+  auto retry = [this, id, component, failed_node, went_down, span, parent] {
+    sim_->schedule_after(
+        sim::seconds(30), [this, id, component, failed_node, went_down, span, parent] {
+          recover_component(id, component, failed_node, went_down, span, parent);
+        });
   };
   if (comp.pinned_node) {
     // Pinned components can only live on their node: wait for it to come
@@ -509,7 +551,7 @@ void Orchestrator::recover_component(DeploymentId id, app::ComponentId component
     d.placement[component] = pinned;
     d.up[static_cast<std::size_t>(component)] = true;
     note_migration_done(id, component, failed_node, pinned, went_down,
-                        MoveReason::kFailover);
+                        MoveReason::kFailover, span, parent);
     for (DeploymentListener* l : d.listeners) l->on_component_up(component, pinned);
     return;
   }
@@ -520,7 +562,7 @@ void Orchestrator::recover_component(DeploymentId id, app::ComponentId component
     d.placement[component] = *target;
     d.up[static_cast<std::size_t>(component)] = true;
     note_migration_done(id, component, failed_node, *target, went_down,
-                        MoveReason::kFailover);
+                        MoveReason::kFailover, span, parent);
     for (DeploymentListener* l : d.listeners) l->on_component_up(component, *target);
     return;
   }
@@ -546,12 +588,20 @@ void Orchestrator::execute_move(DeploymentId id, app::ComponentId component,
                    << target << " (restart " << sim::to_seconds(config_.restart_duration)
                    << " s, state " << comp.state_mb << " MiB)";
   const sim::Time went_down = sim_->now();
+  obs::SpanId span = obs::kNoSpan;
+  obs::SpanId parent = obs::kNoSpan;
   if (recorder_ != nullptr) {
+    // A controller-round scope (or a fault scope, for injector-driven
+    // moves) is open right now; capture it as the move's cause before the
+    // asynchronous bring-up outlives it.
+    span = recorder_->new_span();
+    parent = recorder_->current_span();
     recorder_->record(obs::MigrationStarted{went_down, id, component, from, target,
-                                            move_reason_name(reason)});
+                                            move_reason_name(reason), span, parent});
   }
 
-  auto bring_up = [this, id, component, from, target, went_down, reason] {
+  auto bring_up = [this, id, component, from, target, went_down, reason, span,
+                   parent] {
     Deployment& d2 = dep(id);
     const auto& c2 = d2.app.component(component);
     net::NodeId final_target = target;
@@ -566,13 +616,14 @@ void Orchestrator::execute_move(DeploymentId id, app::ComponentId component,
         // retry loop instead of reviving the component on a dead node.
         util::log_warn() << "'" << c2.name
                          << "' lost both move endpoints; entering recovery";
-        recover_component(id, component, from, went_down);
+        recover_component(id, component, from, went_down, span, parent);
         return;
       }
     }
     d2.placement[component] = final_target;
     d2.up[static_cast<std::size_t>(component)] = true;
-    note_migration_done(id, component, from, final_target, went_down, reason);
+    note_migration_done(id, component, from, final_target, went_down, reason, span,
+                        parent);
     for (DeploymentListener* l : d2.listeners) {
       l->on_component_up(component, final_target);
     }

@@ -204,20 +204,25 @@ class Orchestrator {
   void execute_move(DeploymentId id, app::ComponentId component, net::NodeId target,
                     MoveReason reason);
   // Post-failure placement retry loop (see fail_node). `went_down` is when
-  // the component dropped (journalled downtime spans the whole outage).
+  // the component dropped (journalled downtime spans the whole outage);
+  // `span`/`parent` carry the move's causal identity through the retries so
+  // the eventual MigrationCompleted matches its MigrationStarted.
   void recover_component(DeploymentId id, app::ComponentId component,
-                         net::NodeId failed_node, sim::Time went_down);
+                         net::NodeId failed_node, sim::Time went_down,
+                         obs::SpanId span, obs::SpanId parent);
   // Appends to migrations_ and journals the matching MigrationCompleted.
   void note_migration_done(DeploymentId id, app::ComponentId component,
                            net::NodeId from, net::NodeId to, sim::Time went_down,
-                           MoveReason reason);
+                           MoveReason reason, obs::SpanId span,
+                           obs::SpanId parent);
 
   sim::Simulation* sim_;
   net::Network* network_;
   cluster::ClusterState* cluster_;
   monitor::NetMonitor* monitor_ = nullptr;
   obs::Recorder* recorder_ = nullptr;
-  obs::Histogram* m_place_us_ = nullptr;
+  obs::LogHistogram* m_place_us_ = nullptr;
+  obs::LogHistogram* m_decision_us_ = nullptr;
   obs::Histogram* m_downtime_ms_ = nullptr;
   OrchestratorConfig config_;
   std::vector<std::unique_ptr<Deployment>> deployments_;

@@ -97,6 +97,19 @@ RunOutcome run_one(const SweepArtifacts& artifacts, const RunSpec& spec) {
     }
   });
   out.journal = scene.recorder().journal().to_jsonl();
+  out.metrics_json = scene.recorder().metrics().to_json(scene.now());
+  scene.recorder().metrics().for_each_log_histogram(
+      [&out](const std::string& name, const obs::Labels&,
+             const obs::LogHistogram& h) {
+        if (h.count() == 0) return;
+        for (auto& [existing, merged] : out.latency_histograms) {
+          if (existing == name) {
+            merged.merge(h);
+            return;
+          }
+        }
+        out.latency_histograms.emplace_back(name, h);
+      });
   return out;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "scenario/scenario.h"
 #include "util/expected.h"
 #include "util/ini.h"
@@ -61,6 +62,12 @@ struct RunOutcome {
   scenario::RunReport report;
   std::string journal;       // full event journal, JSONL
   std::string fault_events;  // fault_injected subset, JSONL
+  std::string metrics_json;  // full metrics snapshot (counters/gauges/histos)
+  // Log-scale latency histograms by metric name, copied out so a harness
+  // can merge them across runs (obs::LogHistogram::merge) and report
+  // sweep-wide percentiles. Labels are folded away — same-name histograms
+  // from different runs are the same population.
+  std::vector<std::pair<std::string, obs::LogHistogram>> latency_histograms;
   std::vector<double> recovery_s;  // failover outage lengths, seconds
   int components_down = 0;         // components still down at run end
 };

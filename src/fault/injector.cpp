@@ -30,6 +30,14 @@ void Injector::arm(FaultPlan plan) {
 }
 
 void Injector::apply(const FaultAction& action) {
+  // The fault's span is opened before the action executes: a node crash's
+  // failover MigrationStarted and a link fault's LinkCapacityChanged are
+  // recorded inside this scope and inherit the fault as their parent. The
+  // FaultInjected record itself is journalled after the action so journal
+  // order keeps matching effect order (failover precedes the fault line).
+  const obs::SpanId fault_span =
+      recorder_ != nullptr ? recorder_->new_span() : obs::kNoSpan;
+  obs::SpanScope fault_scope(recorder_, fault_span);
   double value = 0.0;
   switch (action.kind) {
     case FaultKind::kNodeCrash:
@@ -57,9 +65,14 @@ void Injector::apply(const FaultAction& action) {
   ++injected_;
   if (recorder_ != nullptr) {
     m_injections_->inc();
-    recorder_->record(obs::FaultInjected{orchestrator_->simulation().now(),
-                                         fault_kind_name(action.kind), action.node,
-                                         action.peer, value});
+    obs::FaultInjected injected;
+    injected.at = orchestrator_->simulation().now();
+    injected.kind = fault_kind_name(action.kind);
+    injected.node = action.node;
+    injected.peer = action.peer;
+    injected.value = value;
+    injected.span = fault_span;
+    recorder_->record(injected);
   }
 }
 

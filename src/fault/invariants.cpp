@@ -35,9 +35,17 @@ void Invariants::violate(const char* name, const std::string& detail) {
   util::log_warn() << "INVARIANT VIOLATION [" << name << "] " << detail;
   if (recorder_ != nullptr) {
     m_violations_->inc();
-    recorder_->record(
-        obs::InvariantViolation{orch_->simulation().now(), name, detail});
+    obs::InvariantViolation violation;
+    violation.at = orch_->simulation().now();
+    violation.name = name;
+    violation.detail = detail;
+    violation.span = recorder_->new_span();
+    // Round-hook checks run inside the controller round's span scope, so
+    // the violation points at the round whose state it caught.
+    violation.parent = recorder_->current_span();
+    recorder_->record(std::move(violation));
   }
+  if (violation_hook_) violation_hook_(name, detail);
 }
 
 void Invariants::check_capacity() {

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -61,6 +62,12 @@ class Invariants {
   // Runs every check now; returns the number of NEW violations found.
   int check_now();
 
+  // Invoked once per violation, after it is counted and journalled — the
+  // flight recorder's dump trigger (scenario wires dump_once() in here).
+  void set_violation_hook(std::function<void(const char*, const std::string&)> hook) {
+    violation_hook_ = std::move(hook);
+  }
+
   // Total violations since construction.
   int violations() const { return violations_; }
 
@@ -76,6 +83,7 @@ class Invariants {
   obs::Recorder* recorder_;
   obs::Counter* m_violations_ = nullptr;
   InvariantConfig config_;
+  std::function<void(const char*, const std::string&)> violation_hook_;
   int violations_ = 0;
   int violations_at_pass_start_ = 0;
 

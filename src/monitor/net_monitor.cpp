@@ -66,6 +66,7 @@ void NetMonitor::set_recorder(obs::Recorder* recorder) {
     m_headroom_probes_ = nullptr;
     m_violations_ = nullptr;
     m_probes_dropped_ = nullptr;
+    m_probe_rtt_us_ = nullptr;
     return;
   }
   auto& metrics = recorder->metrics();
@@ -74,6 +75,7 @@ void NetMonitor::set_recorder(obs::Recorder* recorder) {
   m_headroom_probes_ = &metrics.counter("monitor.probes", {{"kind", "headroom"}});
   m_violations_ = &metrics.counter("monitor.headroom_violations");
   m_probes_dropped_ = &metrics.counter("monitor.probes_dropped");
+  m_probe_rtt_us_ = &metrics.log_histogram("monitor.probe_rtt_us");
 }
 
 void NetMonitor::set_probe_loss(double rate, std::uint64_t seed) {
@@ -130,6 +132,12 @@ void NetMonitor::launch_probe(net::LinkId link, net::Bps demand, bool is_full,
   }
   state.probing = true;
 
+  // The probe's span is allocated at launch — its completion, any headroom
+  // violation it detects, and a lost-probe record all chain back to it.
+  const obs::SpanId probe_span =
+      recorder_ != nullptr ? recorder_->new_span() : obs::kNoSpan;
+  const sim::Time launched = network_->simulation().now();
+
   const auto& l = network_->topology().link(link);
   const net::Tag tag = next_probe_tag_++;
   // Concurrent application traffic before the probe perturbs the link
@@ -139,8 +147,8 @@ void NetMonitor::launch_probe(net::LinkId link, net::Bps demand, bool is_full,
 
   network_->simulation().schedule_after(
       config_.probe_duration,
-      [this, link, demand, is_full, tag, stream, usage_before,
-       done = std::move(done)] {
+      [this, link, demand, is_full, tag, stream, usage_before, probe_span,
+       launched, done = std::move(done)] {
         // Competing application traffic on the link while the probe ran,
         // read from the node-pair TX counters (the eBPF metric): the
         // capacity estimate is probe goodput + concurrent usage.
@@ -162,9 +170,14 @@ void NetMonitor::launch_probe(net::LinkId link, net::Bps demand, bool is_full,
             m_probes_dropped_->inc();
             m_probe_bytes_->add(delivered);
             const auto& dropped_link = network_->topology().link(link);
-            recorder_->record(obs::FaultInjected{
-                network_->simulation().now(), "probe_lost", dropped_link.src,
-                dropped_link.dst, probe_loss_rate_});
+            obs::FaultInjected lost_event;
+            lost_event.at = network_->simulation().now();
+            lost_event.kind = "probe_lost";
+            lost_event.node = dropped_link.src;
+            lost_event.peer = dropped_link.dst;
+            lost_event.value = probe_loss_rate_;
+            lost_event.parent = probe_span;  // the probe whose result vanished
+            recorder_->record(lost_event);
           }
           if (done) done(lost.cached_capacity);
           return;
@@ -175,9 +188,20 @@ void NetMonitor::launch_probe(net::LinkId link, net::Bps demand, bool is_full,
         if (recorder_ != nullptr) {
           m_probe_bytes_->add(delivered);
           (is_full ? m_full_probes_ : m_headroom_probes_)->inc();
-          recorder_->record(obs::ProbeCompleted{network_->simulation().now(),
-                                                link, is_full, demand, measured,
-                                                delivered});
+          // Launch-to-result latency in sim time: constant while probes are
+          // timer-driven, but the histogram is the scrape point a real
+          // deployment would chart, and merge-tested across sweep workers.
+          m_probe_rtt_us_->observe(
+              static_cast<double>(network_->simulation().now() - launched));
+          obs::ProbeCompleted completed;
+          completed.at = network_->simulation().now();
+          completed.link = link;
+          completed.full = is_full;
+          completed.offered_bps = demand;
+          completed.measured_bps = measured;
+          completed.bytes = delivered;
+          completed.span = probe_span;
+          recorder_->record(completed);
         }
 
         LinkState& state = links_[static_cast<std::size_t>(link)];
@@ -209,8 +233,13 @@ void NetMonitor::launch_probe(net::LinkId link, net::Bps demand, bool is_full,
                               << " delivered " << measured << " of " << demand;
             if (recorder_ != nullptr) {
               m_violations_->inc();
-              recorder_->record(obs::HeadroomViolation{
-                  network_->simulation().now(), link, measured});
+              obs::HeadroomViolation violation;
+              violation.at = network_->simulation().now();
+              violation.link = link;
+              violation.delivered_bps = measured;
+              violation.span = recorder_->new_span();
+              violation.parent = probe_span;  // the probe that came up short
+              recorder_->record(violation);
             }
             if (on_violation_) on_violation_(link, measured);
             if (config_.full_probe_on_violation) full_probe(link);

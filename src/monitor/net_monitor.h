@@ -124,6 +124,7 @@ class NetMonitor {
   obs::Counter* m_headroom_probes_ = nullptr;
   obs::Counter* m_violations_ = nullptr;
   obs::Counter* m_probes_dropped_ = nullptr;
+  obs::LogHistogram* m_probe_rtt_us_ = nullptr;
   sim::EventId periodic_ = sim::kInvalidEvent;
   sim::EventId refresh_ = sim::kInvalidEvent;
   bool started_ = false;

@@ -75,15 +75,21 @@ void Network::set_recorder(obs::Recorder* recorder) {
   m_full_reallocations_ = &metrics.counter("net.full_reallocations");
   m_flows_touched_ = &metrics.counter("net.flows_touched");
   m_links_touched_ = &metrics.counter("net.links_touched");
-  m_alloc_pass_us_ = &metrics.timer_us("net.alloc_pass_us");
+  m_alloc_pass_us_ = &metrics.log_timer_us("net.alloc_pass_us");
 }
 
 void Network::apply_capacity(LinkId link, Bps capacity) {
   if (topology_.link(link).capacity == capacity) return;
   if (recorder_ != nullptr) {
-    recorder_->record(obs::LinkCapacityChanged{
-        sim_->now(), link, topology_.link(link).capacity,
-        std::max<Bps>(capacity, 0)});
+    obs::LinkCapacityChanged changed;
+    changed.at = sim_->now();
+    changed.link = link;
+    changed.old_bps = topology_.link(link).capacity;
+    changed.new_bps = std::max<Bps>(capacity, 0);
+    // Attribute to whatever scope is driving the change (a fault action, a
+    // trace tick has none); capacity changes are effects, never causes.
+    changed.parent = recorder_->current_span();
+    recorder_->record(changed);
   }
   // No settling here: flows whose rate the change can affect are settled at
   // their pre-change rates inside reallocate(), which runs at this same
@@ -573,8 +579,14 @@ void Network::reallocate() {
     const bool full = touched == active_entity_count_ && touched > 0;
     if (full) m_full_reallocations_->inc();
     m_alloc_pass_us_->observe(pass_seconds * 1e6);
-    recorder_->record(obs::ReallocationSolved{
-        sim_->now(), touched, static_cast<std::int64_t>(comp_links_.size()), full});
+    obs::ReallocationSolved solved;
+    solved.at = sim_->now();
+    solved.flows = touched;
+    solved.links = static_cast<std::int64_t>(comp_links_.size());
+    solved.full = full;
+    solved.span = recorder_->new_span();
+    solved.parent = recorder_->current_span();
+    recorder_->record(solved);
   }
 }
 

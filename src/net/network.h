@@ -327,7 +327,7 @@ class Network {
   obs::Counter* m_full_reallocations_ = nullptr;
   obs::Counter* m_flows_touched_ = nullptr;
   obs::Counter* m_links_touched_ = nullptr;
-  obs::Histogram* m_alloc_pass_us_ = nullptr;
+  obs::LogHistogram* m_alloc_pass_us_ = nullptr;
 
   TransferId next_transfer_ = 1;
   std::int64_t total_bytes_delivered_ = 0;

@@ -32,6 +32,16 @@ struct TimeVisitor {
   sim::Time operator()(const T& e) const { return e.at; }
 };
 
+struct SpanVisitor {
+  template <typename T>
+  SpanId operator()(const T& e) const { return e.span; }
+};
+
+struct ParentVisitor {
+  template <typename T>
+  SpanId operator()(const T& e) const { return e.parent; }
+};
+
 struct NameVisitor {
   const char* operator()(const ScheduleDecision&) const { return "schedule_decision"; }
   const char* operator()(const ProbeCompleted&) const { return "probe_completed"; }
@@ -119,10 +129,24 @@ const char* event_type_name(const Event& event) {
   return std::visit(NameVisitor{}, event);
 }
 
+SpanId event_span(const Event& event) {
+  return std::visit(SpanVisitor{}, event);
+}
+
+SpanId event_parent(const Event& event) {
+  return std::visit(ParentVisitor{}, event);
+}
+
 void append_jsonl(const Event& event, std::string& out) {
-  out += util::str_format("{\"t_us\":%lld,\"type\":\"%s\"",
+  // span/parent are serialized centrally — every line carries them, so the
+  // schema check and `bassctl journal query --span` never need per-type
+  // knowledge. Deterministic counters keep same-seed journals byte-equal.
+  out += util::str_format("{\"t_us\":%lld,\"type\":\"%s\",\"span\":%llu,"
+                          "\"parent\":%llu",
                           static_cast<long long>(event_time(event)),
-                          event_type_name(event));
+                          event_type_name(event),
+                          static_cast<unsigned long long>(event_span(event)),
+                          static_cast<unsigned long long>(event_parent(event)));
   std::visit(JsonVisitor{out}, event);
   out += '}';
 }

@@ -21,6 +21,16 @@
 
 namespace bass::obs {
 
+// Causal span identity. A span is allocated from the owning Recorder's
+// monotonic counter — never from wall clock — so same-seed runs assign the
+// same ids and journals stay byte-identical. `span` names the event itself
+// (when it can be a cause); `parent` names the span whose work produced it,
+// forming chains like controller_round → migration_started →
+// migration_completed. Zero means "no span": recording disabled, or the
+// event happened outside any attributable scope.
+using SpanId = std::uint64_t;
+constexpr SpanId kNoSpan = 0;
+
 // A scheduler produced (or failed to produce) a placement for a deployment.
 struct ScheduleDecision {
   sim::Time at = 0;
@@ -32,6 +42,8 @@ struct ScheduleDecision {
                                 // only; excluded from the JSONL journal so
                                 // same-seed runs serialize byte-identically)
   bool success = false;
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
 };
 
 // A net-monitor probe (full flood or headroom) finished on a directed link.
@@ -42,6 +54,8 @@ struct ProbeCompleted {
   net::Bps offered_bps = 0;     // probe demand
   net::Bps measured_bps = 0;    // delivered goodput
   std::int64_t bytes = 0;       // probe bytes that crossed the mesh
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
 };
 
 // A headroom probe came up short — the §4.2 trigger for the controller.
@@ -49,6 +63,8 @@ struct HeadroomViolation {
   sim::Time at = 0;
   net::LinkId link = net::kInvalidLink;
   net::Bps delivered_bps = 0;
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
 };
 
 // A component went down for a move (restart outage begins). `reason` is a
@@ -60,6 +76,8 @@ struct MigrationStarted {
   net::NodeId from = net::kInvalidNode;
   net::NodeId to = net::kInvalidNode;  // requested target (may be revised)
   const char* reason = "";
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
 };
 
 // The moved component came back up. `downtime` spans the whole outage
@@ -73,6 +91,8 @@ struct MigrationCompleted {
   net::NodeId to = net::kInvalidNode;  // where it actually landed
   sim::Duration downtime = 0;          // 0 when the outage start is unknown
   const char* reason = "";             // matches the MigrationStarted reason
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
 };
 
 // One bandwidth-controller evaluation round that found work (Table 1 rows).
@@ -81,6 +101,8 @@ struct ControllerRound {
   int deployment = -1;
   int violating = 0;            // components exceeding their quota
   int migrations_started = 0;
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
 };
 
 // The flow allocator repriced a contention component.
@@ -89,6 +111,8 @@ struct ReallocationSolved {
   std::int64_t flows = 0;       // entities repriced this pass
   std::int64_t links = 0;       // links in the component
   bool full = false;            // component covered every active entity
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
 };
 
 // A link's raw capacity changed (trace tick, tc reshape, experiment).
@@ -97,6 +121,8 @@ struct LinkCapacityChanged {
   net::LinkId link = net::kInvalidLink;
   net::Bps old_bps = 0;
   net::Bps new_bps = 0;
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
 };
 
 // The fault injector applied one action from its plan. `kind` is a static
@@ -108,6 +134,8 @@ struct FaultInjected {
   net::NodeId node = net::kInvalidNode;
   net::NodeId peer = net::kInvalidNode;
   double value = 0.0;
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
 };
 
 // The invariant checker caught a safety-property violation. `name` is a
@@ -116,6 +144,8 @@ struct InvariantViolation {
   sim::Time at = 0;
   const char* name = "";
   std::string detail;
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
 };
 
 using Event = std::variant<ScheduleDecision, ProbeCompleted, HeadroomViolation,
@@ -129,8 +159,13 @@ sim::Time event_time(const Event& event);
 // Stable snake_case tag used in exports and `bassctl events --type` filters.
 const char* event_type_name(const Event& event);
 
+// Span identity / causal parent of any event (kNoSpan when unattributed).
+SpanId event_span(const Event& event);
+SpanId event_parent(const Event& event);
+
 // Appends the event as one flat JSON object line (no trailing newline).
-// Every line carries "t_us" and "type"; remaining keys are per-type.
+// Every line carries "t_us", "type", "span", and "parent"; remaining keys
+// are per-type.
 void append_jsonl(const Event& event, std::string& out);
 
 }  // namespace bass::obs

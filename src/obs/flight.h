@@ -1,0 +1,71 @@
+// Flight recorder: when something goes wrong deep into a chaos soak, the
+// operator needs the evidence trail, not just the failure message. This
+// wraps a Recorder and, on demand — an invariant firing, a SIGABRT, an
+// explicit dump — writes one self-contained `flight_<tag>.jsonl`: a header
+// line with build info and the dump reason, the last N journal events, and
+// a final metrics snapshot. The file needs nothing else from the run to be
+// interpreted; `bassctl report` reads it like any journal.
+//
+// Dumping is pull-only: a FlightRecorder holds no copy of anything and
+// costs nothing until dump() walks the live journal ring. The journal
+// itself is already the bounded ring of recent events — the recorder just
+// serializes its tail.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/recorder.h"
+
+namespace bass::obs {
+
+struct FlightConfig {
+  // Journal tail length written to the dump.
+  std::size_t last_events = 256;
+  // Output directory (created files are `<directory>/flight_<tag>.jsonl`).
+  std::string directory = ".";
+  // Distinguishes dumps from parallel runs; chaos uses the per-run seed.
+  std::string tag = "run";
+};
+
+// One-line JSON object with compiler/build facts, embedded in dump headers
+// so a failure artifact says what produced it.
+std::string build_info_json();
+
+class FlightRecorder {
+ public:
+  FlightRecorder(Recorder& recorder, FlightConfig config);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  // Disarms the signal hook if this instance armed it.
+  ~FlightRecorder();
+
+  // Target dump path for this configuration.
+  std::string path() const;
+
+  // Writes the dump now; returns false on I/O failure. `why` lands in the
+  // header line ("invariant_violation", "sigabrt", ...).
+  bool dump(const char* why);
+
+  // First call dumps, later calls no-op — the natural mode for invariant
+  // hooks, where the first violation is the interesting one and a cascade
+  // of follow-ups must not overwrite its evidence.
+  bool dump_once(const char* why);
+
+  bool dumped() const { return dumped_; }
+
+  // Installs a process-wide SIGABRT handler that dumps through this
+  // instance before re-raising. Best-effort by design: the handler
+  // allocates, which is formally outside async-signal-safety — acceptable
+  // for a crash path whose alternative is no evidence at all. Only one
+  // instance can be armed at a time; arming replaces the previous one.
+  void arm_signal_hook();
+
+ private:
+  Recorder& recorder_;
+  FlightConfig config_;
+  bool dumped_ = false;
+  bool armed_ = false;
+};
+
+}  // namespace bass::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/strings.h"
 
@@ -82,10 +84,28 @@ void append_escaped(const std::string& s, std::string& out) {
   out += '"';
 }
 
-void append_trace_entry(const Event& event, bool first, std::string& out) {
-  const TraceShape shape = std::visit(TraceVisitor{}, event);
-  if (!first) out += ",\n";
-  out += "    {\"name\":";
+// Causal-slice context for the trace export: which spans have descendants,
+// and when each span's causal subtree ends. An instant event whose span
+// caused later work (a controller round that started migrations) is
+// promoted to a duration slice covering its whole subtree, so the
+// descendant slices visually nest inside it on the Perfetto timeline.
+struct SpanNesting {
+  std::unordered_map<SpanId, sim::Time> subtree_end;
+  std::unordered_set<SpanId> has_children;
+};
+
+void append_trace_entry(const Event& event, const SpanNesting* nesting,
+                        std::string& out) {
+  TraceShape shape = std::visit(TraceVisitor{}, event);
+  const SpanId span = event_span(event);
+  if (nesting != nullptr && shape.dur < 0 && span != kNoSpan &&
+      nesting->has_children.count(span) != 0) {
+    const auto it = nesting->subtree_end.find(span);
+    if (it != nesting->subtree_end.end() && it->second > shape.ts) {
+      shape.dur = it->second - shape.ts;
+    }
+  }
+  out += ",\n    {\"name\":";
   append_escaped(shape.name, out);
   out += util::str_format(",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%lld",
                           event_type_name(event), kPid, shape.tid,
@@ -96,7 +116,8 @@ void append_trace_entry(const Event& event, bool first, std::string& out) {
   } else {
     out += ",\"ph\":\"i\",\"s\":\"t\"";
   }
-  // The full typed record rides along as args, so Perfetto's detail pane
+  // The full typed record rides along as args (span and parent included, so
+  // flows can be followed from the detail pane), and Perfetto's detail pane
   // shows exactly what the JSONL export would.
   out += ",\"args\":{\"event\":";
   append_jsonl(event, out);
@@ -175,7 +196,38 @@ std::string EventJournal::to_trace() const {
         "\"args\":{\"name\":\"%s\"}}",
         kPid, tid, name);
   }
-  for_each([&out](const Event& e) { append_trace_entry(e, /*first=*/false, out); });
+  // Span pre-pass: per-span slice ends and parent links, then every
+  // event's end time propagated up its parent chain, so a root span's
+  // subtree end covers e.g. the downtime slice of a migration it caused.
+  SpanNesting nesting;
+  std::unordered_map<SpanId, SpanId> parent_of;
+  std::vector<std::pair<SpanId, sim::Time>> seeds;
+  for_each([&](const Event& e) {
+    const TraceShape shape = std::visit(TraceVisitor{}, e);
+    const sim::Time end = shape.ts + std::max<sim::Duration>(shape.dur, 0);
+    const SpanId span = event_span(e);
+    const SpanId parent = event_parent(e);
+    if (span != kNoSpan) {
+      seeds.emplace_back(span, end);
+      if (parent != kNoSpan) parent_of.emplace(span, parent);
+    }
+    if (parent != kNoSpan) {
+      nesting.has_children.insert(parent);
+      seeds.emplace_back(parent, end);
+    }
+  });
+  for (const auto& [start, end] : seeds) {
+    SpanId s = start;
+    // Bounded walk: parent chains are shallow (fault → round → move), the
+    // guard only protects against a corrupted journal's reference loop.
+    for (int depth = 0; s != kNoSpan && depth < 64; ++depth) {
+      auto [it, inserted] = nesting.subtree_end.emplace(s, end);
+      if (!inserted && it->second < end) it->second = end;
+      const auto p = parent_of.find(s);
+      s = p == parent_of.end() ? kNoSpan : p->second;
+    }
+  }
+  for_each([&](const Event& e) { append_trace_entry(e, &nesting, out); });
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;
 }

@@ -72,6 +72,68 @@ void Histogram::observe(double value) {
   }
 }
 
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  std::int64_t rank = static_cast<std::int64_t>(
+      q * static_cast<double>(count_) + 0.999999);
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) {
+      // Overflow bucket has no upper boundary; max is the honest answer.
+      const double upper =
+          i < boundaries_.size() ? boundaries_[i] : max_;
+      // Clamping keeps boundary-valued samples from overshooting: a run
+      // whose every sample equals boundary b must report percentile == b
+      // == max, and no quantile may fall outside the observed extremes.
+      return std::min(std::max(upper, min_), max_);
+    }
+  }
+  return max_;
+}
+
+double LogHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  std::int64_t rank = static_cast<std::int64_t>(
+      q * static_cast<double>(count_) + 0.999999);
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) {
+      const double upper = static_cast<double>(bucket_upper(i));
+      return std::min(std::max(upper, min_), max_);
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::for_each_nonzero(
+    const std::function<void(std::uint64_t, std::int64_t)>& fn) const {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) fn(bucket_upper(i), counts_[i]);
+  }
+}
+
 const std::vector<double>& default_time_boundaries_us() {
   static const std::vector<double> kBoundaries = {
       1,    2,    5,    10,    20,    50,    100,    200,    500,
@@ -99,6 +161,7 @@ MetricsRegistry::Instrument& MetricsRegistry::find_or_create(
       scratch->gauge = std::make_unique<Gauge>();
       scratch->histogram = std::make_unique<Histogram>(
           boundaries ? *boundaries : default_time_boundaries_us());
+      scratch->log_histogram = std::make_unique<LogHistogram>();
       return *scratch;
     }
     return inst;
@@ -113,6 +176,9 @@ MetricsRegistry::Instrument& MetricsRegistry::find_or_create(
     case Kind::kHistogram:
       inst->histogram = std::make_unique<Histogram>(
           boundaries ? std::move(*boundaries) : default_time_boundaries_us());
+      break;
+    case Kind::kLogHistogram:
+      inst->log_histogram = std::make_unique<LogHistogram>();
       break;
   }
   index_.emplace(key, order_.size());
@@ -134,8 +200,24 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *find_or_create(name, labels, Kind::kHistogram, &boundaries).histogram;
 }
 
-Histogram& MetricsRegistry::timer_us(const std::string& name, const Labels& labels) {
-  return histogram(name, default_time_boundaries_us(), labels);
+LogHistogram& MetricsRegistry::log_histogram(const std::string& name,
+                                             const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kLogHistogram, nullptr).log_histogram;
+}
+
+LogHistogram& MetricsRegistry::log_timer_us(const std::string& name,
+                                            const Labels& labels) {
+  return log_histogram(name, labels);
+}
+
+void MetricsRegistry::for_each_log_histogram(
+    const std::function<void(const std::string&, const Labels&,
+                             const LogHistogram&)>& fn) const {
+  for (const auto& inst : order_) {
+    if (inst->kind == Kind::kLogHistogram) {
+      fn(inst->name, inst->labels, *inst->log_histogram);
+    }
+  }
 }
 
 std::string MetricsRegistry::to_json(sim::Time now) const {
@@ -171,6 +253,12 @@ std::string MetricsRegistry::to_json(sim::Time now) const {
         append_double(h.min(), histograms);
         histograms += ",\"max\":";
         append_double(h.max(), histograms);
+        histograms += ",\"p50\":";
+        append_double(h.percentile(0.50), histograms);
+        histograms += ",\"p90\":";
+        append_double(h.percentile(0.90), histograms);
+        histograms += ",\"p99\":";
+        append_double(h.percentile(0.99), histograms);
         histograms += ",\"boundaries\":[";
         for (std::size_t i = 0; i < h.boundaries().size(); ++i) {
           if (i != 0) histograms += ',';
@@ -185,6 +273,38 @@ std::string MetricsRegistry::to_json(sim::Time now) const {
         histograms += "]}";
         break;
       }
+      case Kind::kLogHistogram: {
+        const LogHistogram& h = *inst->log_histogram;
+        if (!histograms.empty()) histograms += ",\n";
+        histograms += "    {";
+        append_name_labels(inst->name, inst->labels, histograms);
+        histograms += util::str_format(",\"kind\":\"log2\",\"count\":%lld,\"sum\":",
+                                       static_cast<long long>(h.count()));
+        append_double(h.sum(), histograms);
+        histograms += ",\"min\":";
+        append_double(h.min(), histograms);
+        histograms += ",\"max\":";
+        append_double(h.max(), histograms);
+        histograms += ",\"p50\":";
+        append_double(h.percentile(0.50), histograms);
+        histograms += ",\"p90\":";
+        append_double(h.percentile(0.90), histograms);
+        histograms += ",\"p99\":";
+        append_double(h.percentile(0.99), histograms);
+        // Sparse [upper_bound, count] pairs: 976 fixed slots are almost all
+        // empty, and the sparse form is what merge-side consumers rebuild.
+        histograms += ",\"buckets\":[";
+        bool first = true;
+        h.for_each_nonzero([&](std::uint64_t upper, std::int64_t n) {
+          if (!first) histograms += ',';
+          first = false;
+          histograms += util::str_format("[%llu,%lld]",
+                                         static_cast<unsigned long long>(upper),
+                                         static_cast<long long>(n));
+        });
+        histograms += "]}";
+        break;
+      }
     }
   }
   std::string out = util::str_format("{\n  \"t_us\":%lld,\n",
@@ -192,6 +312,107 @@ std::string MetricsRegistry::to_json(sim::Time now) const {
   out += "  \"counters\":[\n" + counters + "\n  ],\n";
   out += "  \"gauges\":[\n" + gauges + "\n  ],\n";
   out += "  \"histograms\":[\n" + histograms + "\n  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map 1:1.
+std::string prom_name(const std::string& name) {
+  std::string out = "bass_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Renders {k="v",...}; `extra` ("le=\"5\"" / "quantile=\"0.5\"") is
+// appended after the instrument's own labels.
+std::string prom_labels(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    for (char c : labels[i].second) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!labels.empty()) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+std::string prom_number(double v) { return util::str_format("%.9g", v); }
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus(sim::Time now) const {
+  std::string out = util::str_format(
+      "# BASS metrics snapshot at sim t_us=%lld\n", static_cast<long long>(now));
+  for (const auto& inst : order_) {
+    const std::string name = prom_name(inst->name);
+    switch (inst->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + prom_labels(inst->labels) +
+               util::str_format(" %lld\n",
+                                static_cast<long long>(inst->counter->value()));
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + prom_labels(inst->labels) + ' ' +
+               prom_number(inst->gauge->value()) + '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *inst->histogram;
+        out += "# TYPE " + name + " histogram\n";
+        std::int64_t cum = 0;
+        for (std::size_t i = 0; i < h.boundaries().size(); ++i) {
+          cum += h.bucket_counts()[i];
+          out += name + "_bucket" +
+                 prom_labels(inst->labels,
+                             "le=\"" + prom_number(h.boundaries()[i]) + "\"") +
+                 util::str_format(" %lld\n", static_cast<long long>(cum));
+        }
+        out += name + "_bucket" + prom_labels(inst->labels, "le=\"+Inf\"") +
+               util::str_format(" %lld\n", static_cast<long long>(h.count()));
+        out += name + "_sum" + prom_labels(inst->labels) + ' ' +
+               prom_number(h.sum()) + '\n';
+        out += name + "_count" + prom_labels(inst->labels) +
+               util::str_format(" %lld\n", static_cast<long long>(h.count()));
+        break;
+      }
+      case Kind::kLogHistogram: {
+        // Log histograms export as summaries: fixed le ladders don't fit
+        // log2 buckets, and the quantiles are what dashboards plot anyway.
+        const LogHistogram& h = *inst->log_histogram;
+        out += "# TYPE " + name + " summary\n";
+        for (const auto& [tag, q] :
+             {std::pair<const char*, double>{"0.5", 0.50},
+              {"0.9", 0.90},
+              {"0.99", 0.99}}) {
+          out += name +
+                 prom_labels(inst->labels,
+                             std::string("quantile=\"") + tag + "\"") +
+                 ' ' + prom_number(h.percentile(q)) + '\n';
+        }
+        out += name + "_sum" + prom_labels(inst->labels) + ' ' +
+               prom_number(h.sum()) + '\n';
+        out += name + "_count" + prom_labels(inst->labels) +
+               util::str_format(" %lld\n", static_cast<long long>(h.count()));
+        break;
+      }
+    }
+  }
   return out;
 }
 

@@ -13,7 +13,10 @@
 // subsystems — those belong in the name.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -47,9 +50,11 @@ class Gauge {
 };
 
 // Fixed-boundary histogram: observation x lands in the first bucket with
-// x <= boundary, else in the implicit +Inf overflow bucket. Cumulative
-// counts, sum, min, and max are kept so snapshots can report both the
-// distribution and the extremes.
+// x <= boundary, else in the implicit +Inf overflow bucket — so
+// bucket_counts()[i] covers the half-open range (boundaries[i-1],
+// boundaries[i]], and a sample exactly on a boundary counts toward the
+// bucket whose upper bound it equals. Per-bucket counts, sum, min, and max
+// are kept so snapshots can report both the distribution and the extremes.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> boundaries);
@@ -61,6 +66,11 @@ class Histogram {
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  // Bucket-resolution quantile, q in [0, 1]: the upper boundary of the
+  // bucket holding the ceil(q*count)-th sample, clamped to [min, max] so a
+  // boundary-valued sample reports its own value (not the next bucket's
+  // edge) and percentile(1.0) == max() exactly.
+  double percentile(double q) const;
   const std::vector<double>& boundaries() const { return boundaries_; }
   // bucket_counts()[i] observations fell in (boundaries[i-1], boundaries[i]];
   // the final entry is the +Inf overflow bucket.
@@ -69,6 +79,78 @@ class Histogram {
  private:
   std::vector<double> boundaries_;        // ascending
   std::vector<std::int64_t> buckets_;     // boundaries_.size() + 1 (overflow)
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// HDR-style log2-bucketed latency histogram (DESIGN.md §6). Sixteen
+// sub-buckets per power of two bound the relative quantile error at
+// 1/16 ≈ 6%, which is plenty for p50/p99 over wall-clock timers while the
+// whole state stays one fixed 976-slot array: recording is a shift, a
+// table increment, and four scalar updates — zero allocation, any value
+// range, no boundary ladder to pick per metric. Two same-shape histograms
+// merge bucket-wise, which is how sweep workers' per-run timers fold into
+// one fleet-wide distribution (exec::run_sweep, bassctl chaos).
+class LogHistogram {
+ public:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(64 - kSubBucketBits + 1) * kSubBuckets;
+
+  // Values below kSubBuckets map to themselves (exact); above, the bucket
+  // keeps the top kSubBucketBits+1 significant bits of the value.
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < static_cast<std::uint64_t>(kSubBuckets)) {
+      return static_cast<std::size_t>(v);
+    }
+    const int shift = (63 - std::countl_zero(v)) - kSubBucketBits;
+    return static_cast<std::size_t>(shift) * kSubBuckets +
+           static_cast<std::size_t>(v >> shift);
+  }
+
+  // Largest value mapping to `index` — the representative quantiles report.
+  static std::uint64_t bucket_upper(std::size_t index) {
+    if (index < static_cast<std::size_t>(kSubBuckets)) return index;
+    const std::size_t shift = index / kSubBuckets - 1;
+    const std::uint64_t sub = index - shift * kSubBuckets;
+    return ((sub + 1) << shift) - 1;
+  }
+
+  void observe(double value) {
+    const std::uint64_t v =
+        value <= 0.0 ? 0 : static_cast<std::uint64_t>(value + 0.5);
+    ++counts_[bucket_index(v)];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1) {
+      min_ = max_ = value;
+    } else {
+      if (value < min_) min_ = value;
+      if (value > max_) max_ = value;
+    }
+  }
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  // Bucket-representative quantile clamped to [min, max]; q in [0, 1].
+  double percentile(double q) const;
+
+  // Folds `other` into this histogram (same fixed shape by construction).
+  void merge(const LogHistogram& other);
+
+  // Visits (bucket_upper, count) for every non-empty bucket, ascending.
+  void for_each_nonzero(
+      const std::function<void(std::uint64_t, std::int64_t)>& fn) const;
+
+ private:
+  std::array<std::int64_t, kBucketCount> counts_{};
   std::int64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
@@ -93,18 +175,34 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name, const Labels& labels = {});
   Histogram& histogram(const std::string& name, std::vector<double> boundaries,
                        const Labels& labels = {});
-  // Timer histogram with the default microsecond ladder.
-  Histogram& timer_us(const std::string& name, const Labels& labels = {});
+  // Log2-bucketed histogram; `log_timer_us` is the naming-convention entry
+  // point for wall-clock timers (values in microseconds).
+  LogHistogram& log_histogram(const std::string& name, const Labels& labels = {});
+  LogHistogram& log_timer_us(const std::string& name, const Labels& labels = {});
 
   std::size_t instrument_count() const { return order_.size(); }
 
+  // Visits every log histogram in registration order — the merge hook for
+  // sweep workers folding per-run timers into a fleet-wide distribution.
+  void for_each_log_histogram(
+      const std::function<void(const std::string&, const Labels&,
+                               const LogHistogram&)>& fn) const;
+
   // JSON snapshot: {"t_us":..., "counters":[...], "gauges":[...],
-  // "histograms":[...]}, instruments in registration order.
+  // "histograms":[...]}, instruments in registration order. Histogram
+  // entries carry p50/p90/p99 alongside min/max/sum; log histograms appear
+  // in the same array with "kind":"log2" and sparse [upper,count] buckets.
   std::string to_json(sim::Time now) const;
   bool write_json(const std::string& path, sim::Time now) const;
 
+  // Prometheus text exposition of the same snapshot: counters and gauges
+  // verbatim, fixed histograms as cumulative `le` buckets, log histograms
+  // as quantile summaries. Names get a `bass_` prefix with dots mapped to
+  // underscores.
+  std::string to_prometheus(sim::Time now) const;
+
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kLogHistogram };
 
   struct Instrument {
     std::string name;
@@ -113,6 +211,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<LogHistogram> log_histogram;
   };
 
   Instrument& find_or_create(const std::string& name, const Labels& labels,

@@ -122,11 +122,29 @@ class Recorder {
 
   // Encodes staged events into the journal, oldest first. Safe to call at
   // any time; record() and journal() call it at every point where order
-  // could become observable.
+  // could become observable. Non-empty flushes feed the
+  // "obs.journal_flush_us" stall timer.
   void flush_deferred();
 
   // Staged events not yet encoded (diagnostics/tests).
   std::size_t deferred_pending() const { return deferred_count_; }
+
+  // ---- Causal spans ----
+  //
+  // Span ids come from a per-recorder monotonic counter: each run owns one
+  // recorder and emits from one thread, so same-seed runs hand out the same
+  // ids in the same order and journals stay byte-identical. A scope stack
+  // carries the "current cause" across call boundaries (controller round →
+  // orchestrator move → network reallocation) without threading ids through
+  // every signature.
+  SpanId new_span() { return enabled_ ? ++last_span_ : kNoSpan; }
+  SpanId current_span() const {
+    return span_stack_.empty() ? kNoSpan : span_stack_.back();
+  }
+  void push_span(SpanId span) { span_stack_.push_back(span); }
+  void pop_span() {
+    if (!span_stack_.empty()) span_stack_.pop_back();
+  }
 
   EventJournal& journal() {
     flush_deferred();
@@ -174,6 +192,30 @@ class Recorder {
   // Deferred-encode ring: preallocated, drained FIFO at flush points.
   std::vector<DeferredSlot> deferred_;
   std::size_t deferred_count_ = 0;
+  // Causal-span state: monotonic id source + active-scope stack.
+  SpanId last_span_ = 0;
+  std::vector<SpanId> span_stack_;
+  // Journal flush stalls, cached at construction (wall clock; not journaled).
+  LogHistogram* m_flush_us_ = nullptr;
+};
+
+// RAII span scope: pushes `span` as the current cause for the duration.
+// Null-recorder and no-span tolerant, so emit sites can use it
+// unconditionally.
+class SpanScope {
+ public:
+  SpanScope(Recorder* recorder, SpanId span)
+      : recorder_(span != kNoSpan ? recorder : nullptr) {
+    if (recorder_ != nullptr) recorder_->push_span(span);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() {
+    if (recorder_ != nullptr) recorder_->pop_span();
+  }
+
+ private:
+  Recorder* recorder_;
 };
 
 // Recorder for profiling scopes inside pure kernels. Resolution is one TLS
@@ -204,9 +246,9 @@ class ScopedGlobalRecorder {
   Recorder* prev_;
 };
 
-// RAII wall-clock timer feeding a registry timer histogram ("<name>", unit
-// microseconds). The clock is only read when a live, enabled recorder is
-// present at construction.
+// RAII wall-clock timer feeding a registry log-bucketed timer histogram
+// ("<name>", unit microseconds). The clock is only read when a live,
+// enabled recorder is present at construction.
 class ScopedTimer {
  public:
   ScopedTimer(Recorder* recorder, const char* name)
@@ -219,7 +261,7 @@ class ScopedTimer {
   ~ScopedTimer() {
     if (recorder_ == nullptr) return;
     const auto elapsed = std::chrono::steady_clock::now() - start_;
-    recorder_->metrics().timer_us(name_).observe(
+    recorder_->metrics().log_timer_us(name_).observe(
         std::chrono::duration<double, std::micro>(elapsed).count());
   }
 

@@ -452,6 +452,38 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(
         *s->orch_, s->recorder_.get());
     s->invariants_->attach();
   }
+
+  // ---- Flight recorder ----
+  // Off by default (tests and sweeps should not scatter dump files); a
+  // chaos harness turns it on with [obs] flight = true and gets a
+  // self-contained flight_<tag>.jsonl on the first invariant violation.
+  if (const auto* obs_sec = ini.first_of_kind("obs");
+      obs_sec != nullptr && obs_sec->flag_or("flight", false)) {
+    obs::FlightConfig fc;
+    fc.last_events = static_cast<std::size_t>(
+        obs_sec->number_or("flight_events", static_cast<double>(fc.last_events)));
+    fc.directory = obs_sec->get_or("flight_dir", ".");
+    std::string tag = obs_sec->get_or("flight_tag", "");
+    if (tag.empty()) {
+      // Default tag: the chaos seed, so parallel soak workers' dumps never
+      // collide and a dump names the seed that reproduces it.
+      const auto* chaos = ini.first_of_kind("chaos");
+      tag = chaos != nullptr
+                ? util::str_format(
+                      "%llu", static_cast<unsigned long long>(
+                                  chaos->number_or("seed", 1)))
+                : "run";
+    }
+    fc.tag = std::move(tag);
+    s->flight_ = std::make_unique<obs::FlightRecorder>(*s->recorder_, fc);
+    if (obs_sec->flag_or("flight_signal", false)) s->flight_->arm_signal_hook();
+    if (s->invariants_ != nullptr) {
+      s->invariants_->set_violation_hook(
+          [flight = s->flight_.get()](const char* name, const std::string&) {
+            flight->dump_once(name);
+          });
+    }
+  }
   auto scripted = fault::parse_fault_plan(
       ini, [&s](const std::string& name) { return s->node_id(name); },
       s->network_->topology());

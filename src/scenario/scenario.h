@@ -62,6 +62,7 @@
 #include "core/orchestrator.h"
 #include "fault/injector.h"
 #include "fault/invariants.h"
+#include "obs/flight.h"
 #include "obs/recorder.h"
 #include "profiler/online_profiler.h"
 #include "trace/player.h"
@@ -149,6 +150,9 @@ class Scenario {
   // is on by default; [invariants] enabled = false disables it).
   fault::Injector* injector() { return injector_.get(); }
   fault::Invariants* invariants() { return invariants_.get(); }
+  // Null unless [obs] flight = true; dumps on the first invariant
+  // violation automatically, or on demand via dump().
+  obs::FlightRecorder* flight() { return flight_.get(); }
   sim::Duration duration() const { return duration_; }
   sim::Time now() const { return sim_.now(); }
   const std::string& dot_path() const { return dot_path_; }
@@ -165,6 +169,7 @@ class Scenario {
   std::unique_ptr<trace::TracePlayer> player_;
   std::unique_ptr<fault::Injector> injector_;
   std::unique_ptr<fault::Invariants> invariants_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
   std::unique_ptr<profiler::OnlineProfiler> profiler_;
   std::unique_ptr<workload::RequestEngine> requests_;
   std::unique_ptr<workload::VideoConferenceEngine> conference_;

@@ -1,5 +1,6 @@
 #include "sched/bass_scheduler.h"
 
+#include "obs/recorder.h"
 #include "sched/heuristics.h"
 #include "sched/node_ranker.h"
 #include "sched/packer.h"
@@ -30,6 +31,7 @@ std::string BassScheduler::name() const {
 util::Expected<Placement> BassScheduler::schedule(const app::AppGraph& app,
                                                   const cluster::ClusterState& cluster,
                                                   const NetworkView& view) const {
+  BASS_OBS_SCOPE("sched.schedule_us");
   std::string error;
   if (!app.validate(&error)) return util::make_error(error);
 

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "obs/recorder.h"
+
 #include "util/strings.h"
 
 namespace bass::sched {
@@ -9,6 +11,7 @@ namespace bass::sched {
 util::Expected<Placement> K3sScheduler::schedule(const app::AppGraph& app,
                                                  const cluster::ClusterState& cluster,
                                                  const NetworkView& view) const {
+  BASS_OBS_SCOPE("sched.schedule_us");
   (void)view;  // bandwidth-oblivious by design
   std::string error;
   if (!app.validate(&error)) return util::make_error(error);

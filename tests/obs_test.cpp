@@ -1,15 +1,22 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "app/catalog.h"
 #include "core/orchestrator.h"
+#include "exec/sweep.h"
+#include "fault/invariants.h"
+#include "obs/flight.h"
 #include "obs/recorder.h"
 #include "scenario/scenario.h"
 #include "util/ini.h"
+#include "util/strings.h"
 
 namespace bass::obs {
 namespace {
@@ -128,11 +135,104 @@ TEST(Metrics, HistogramBucketsAndExtremes) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 10.0 + 50.0 + 1e6);
 }
 
+TEST(Metrics, HistogramPercentileAtBucketBoundary) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("edge_ms", {1.0, 10.0, 100.0});
+  // Regression: all samples sit exactly ON a bucket boundary. The quantile
+  // must report that value, not the bucket's nominal upper edge of a
+  // neighbouring bucket or an unclamped boundary.
+  for (int i = 0; i < 8; ++i) h.observe(10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), h.max());
+  // A sample past every boundary lands in the overflow bucket, which has no
+  // upper edge — the observed max is the honest answer.
+  h.observe(1e9);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e9);
+  // And a single tiny sample clamps to min from below.
+  Histogram& low = reg.histogram("low_ms", {1.0, 10.0});
+  low.observe(0.25);
+  EXPECT_DOUBLE_EQ(low.percentile(0.5), 0.25);
+}
+
+TEST(Metrics, LogHistogramBucketMath) {
+  // Below one octave of sub-buckets values map exactly.
+  for (std::uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LogHistogram::bucket_upper(LogHistogram::bucket_index(v)), v);
+  }
+  // Everywhere: v is never above its bucket's representative, and the
+  // representative is within the 1/16 relative-error budget.
+  for (std::uint64_t v : {16ull, 17ull, 31ull, 32ull, 63ull, 100ull, 1000ull,
+                          123456789ull, (1ull << 62) + 12345}) {
+    const std::uint64_t upper =
+        LogHistogram::bucket_upper(LogHistogram::bucket_index(v));
+    EXPECT_GE(upper, v);
+    EXPECT_LE(static_cast<double>(upper - v),
+              static_cast<double>(v) / LogHistogram::kSubBuckets);
+  }
+}
+
+TEST(Metrics, LogHistogramPercentilesAndMerge) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  // Relative quantile error is bounded by the sub-bucket width (1/16).
+  EXPECT_NEAR(h.percentile(0.50), 500.0, 500.0 / 16 + 1);
+  EXPECT_NEAR(h.percentile(0.90), 900.0, 900.0 / 16 + 1);
+  EXPECT_NEAR(h.percentile(0.99), 990.0, 990.0 / 16 + 1);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+
+  // Merge folds counts, sum, and extremes — the sweep-worker fold.
+  LogHistogram other;
+  other.observe(1e9);
+  other.merge(h);
+  EXPECT_EQ(other.count(), 1001);
+  EXPECT_DOUBLE_EQ(other.min(), 1.0);
+  EXPECT_DOUBLE_EQ(other.max(), 1e9);
+  EXPECT_DOUBLE_EQ(other.sum(), h.sum() + 1e9);
+  EXPECT_NEAR(other.percentile(0.50), 500.0, 500.0 / 16 + 1);
+  EXPECT_DOUBLE_EQ(other.percentile(1.0), 1e9);
+
+  // Sparse iteration visits ascending uppers with the right total.
+  std::int64_t total = 0;
+  std::uint64_t prev = 0;
+  other.for_each_nonzero([&](std::uint64_t upper, std::int64_t n) {
+    EXPECT_GE(upper, prev);
+    prev = upper;
+    total += n;
+  });
+  EXPECT_EQ(total, other.count());
+}
+
+TEST(Metrics, PrometheusExportCoversEveryKind) {
+  MetricsRegistry reg;
+  reg.counter("events.probe_completed", {{"full", "true"}}).add(3);
+  reg.gauge("cluster.cpu_free").set(1.5);
+  reg.histogram("core.downtime_ms", {1.0, 10.0}).observe(5.0);
+  reg.log_timer_us("orchestrator.decision_us").observe(42.0);
+  const std::string prom = reg.to_prometheus(sim::seconds(1));
+  EXPECT_NE(prom.find("# TYPE bass_events_probe_completed counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("bass_events_probe_completed{full=\"true\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("bass_cluster_cpu_free 1.5"), std::string::npos);
+  EXPECT_NE(prom.find("bass_core_downtime_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("bass_orchestrator_decision_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("bass_orchestrator_decision_us_count 1"),
+            std::string::npos);
+}
+
 TEST(Metrics, JsonSnapshotListsEveryInstrument) {
   MetricsRegistry reg;
   reg.counter("net.reallocations").add(7);
   reg.gauge("cluster.cpu_free").set(1.5);
-  reg.timer_us("sched.place_us").observe(42.0);
+  reg.histogram("core.downtime_ms", {1.0, 10.0}).observe(5.0);
+  reg.log_timer_us("sched.place_us").observe(42.0);
   const std::string json = reg.to_json(sim::seconds(9));
   EXPECT_NE(json.find("\"t_us\":" + std::to_string(sim::seconds(9))),
             std::string::npos);
@@ -141,6 +241,9 @@ TEST(Metrics, JsonSnapshotListsEveryInstrument) {
   EXPECT_NE(json.find("\"cluster.cpu_free\""), std::string::npos);
   EXPECT_NE(json.find("\"sched.place_us\""), std::string::npos);
   EXPECT_NE(json.find("\"boundaries\""), std::string::npos);
+  // Log2 timers carry their kind and pre-computed percentiles.
+  EXPECT_NE(json.find("\"kind\":\"log2\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
 // ---- Recorder ----
@@ -177,7 +280,7 @@ TEST(Recorder, ScopedTimerFeedsTimerHistogram) {
   {
     ScopedTimer null_ok(nullptr, "ignored");  // must not crash
   }
-  EXPECT_EQ(rec.metrics().timer_us("solve_us").count(), 1);
+  EXPECT_EQ(rec.metrics().log_timer_us("solve_us").count(), 1);
 }
 
 // ---- Deferred-encode ring ----
@@ -258,7 +361,7 @@ TEST(Recorder, GlobalRecorderDrivesKernelScopes) {
   {
     BASS_OBS_SCOPE("kernel.test_us");  // detached: no observation
   }
-  EXPECT_EQ(rec.metrics().timer_us("kernel.test_us").count(), 1);
+  EXPECT_EQ(rec.metrics().log_timer_us("kernel.test_us").count(), 1);
 }
 
 // ---- End-to-end: journal vs. orchestrator migration history ----
@@ -355,7 +458,251 @@ TEST(EndToEnd, ScheduleDecisionJournalsPlacementLatency) {
   EXPECT_EQ(decision.scheduler, std::string("bass-bfs"));
   EXPECT_EQ(decision.components, 2);
   EXPECT_GT(decision.place_us, 0.0);
-  EXPECT_EQ(rig.recorder.metrics().timer_us("sched.place_us").count(), 1);
+  EXPECT_EQ(rig.recorder.metrics().log_timer_us("sched.place_us").count(), 1);
+}
+
+// ---- Causal spans ----
+
+TEST(Spans, MigrationSpansPairStartAndCompletion) {
+  Rig rig;
+  const auto id = rig.orch->deploy(tiny_app(), core::SchedulerKind::kBassBfs).take();
+  const net::NodeId from = rig.orch->node_of(id, 1);
+  EXPECT_TRUE(rig.orch->migrate(id, 1, from == 2 ? 0 : 2));
+  rig.sim.run_all();
+  rig.orch->fail_node(rig.orch->node_of(id, 0));
+  rig.sim.run_all();
+
+  // Every migration gets its own span, shared by exactly its two endpoint
+  // events — `journal query --span` can stitch any move from its id alone.
+  std::map<SpanId, int> started, completed;
+  rig.recorder.journal().for_each([&](const Event& e) {
+    if (const auto* s = std::get_if<MigrationStarted>(&e)) {
+      EXPECT_NE(s->span, kNoSpan);
+      ++started[s->span];
+    } else if (const auto* c = std::get_if<MigrationCompleted>(&e)) {
+      EXPECT_NE(c->span, kNoSpan);
+      ++completed[c->span];
+    }
+  });
+  ASSERT_GE(started.size(), 2u);
+  EXPECT_EQ(started.size(), completed.size());
+  for (const auto& [span, n] : started) {
+    EXPECT_EQ(n, 1) << "span " << span;
+    EXPECT_EQ(completed[span], 1) << "span " << span;
+  }
+}
+
+TEST(Spans, SameSeedJournalsAreByteIdenticalAcrossJobCounts) {
+  // Span ids come from a deterministic per-recorder counter, so the JSONL —
+  // spans included — must not change with scheduling or parallelism.
+  constexpr const char* kIni = R"(
+[node alpha]
+cpu = 4000
+[node beta]
+cpu = 4000
+[link alpha beta]
+capacity_mbps = 20
+[component producer]
+cpu = 500
+pinned = alpha
+[component consumer]
+cpu = 500
+pinned = beta
+[edge producer consumer]
+bandwidth_mbps = 4
+[monitor]
+probe_interval_s = 10
+[chaos]
+seed = 7
+crash_mtbf_s = 20
+mttr_s = 10
+flap_mtbf_s = 15
+flap_down_s = 5
+[run]
+duration_s = 60
+)";
+  auto ini = util::parse_ini(kIni);
+  ASSERT_TRUE(ini.ok()) << ini.error();
+  auto artifacts = exec::SweepArtifacts::from_ini(ini.take());
+  ASSERT_TRUE(artifacts.ok()) << artifacts.error();
+  const std::vector<exec::RunSpec> specs{{"a", {}}, {"b", {}}, {"c", {}}};
+  const auto serial = exec::run_sweep(artifacts.value(), specs, 1);
+  const auto parallel = exec::run_sweep(artifacts.value(), specs, 3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].error.empty()) << serial[i].error;
+    EXPECT_FALSE(serial[i].journal.empty());
+    EXPECT_EQ(serial[i].journal, parallel[i].journal) << "run " << i;
+    EXPECT_NE(serial[i].journal.find("\"span\":"), std::string::npos);
+  }
+}
+
+TEST(Spans, FaultSpanParentsFailoverMigrations) {
+  constexpr const char* kIni = R"(
+[node alpha]
+cpu = 4000
+[node beta]
+cpu = 4000
+[link alpha beta]
+capacity_mbps = 20
+[component producer]
+cpu = 500
+pinned = alpha
+[component consumer]
+cpu = 500
+pinned = beta
+[edge producer consumer]
+bandwidth_mbps = 4
+[fault node_crash beta]
+at_s = 10
+duration_s = 20
+[run]
+duration_s = 60
+)";
+  auto ini = util::parse_ini(kIni);
+  ASSERT_TRUE(ini.ok()) << ini.error();
+  auto s = scenario::Scenario::from_ini(ini.value());
+  ASSERT_TRUE(s.ok()) << s.error();
+  auto& scene = *s.value();
+  scene.run();
+
+  SpanId fault_span = kNoSpan;
+  scene.recorder().journal().for_each([&](const Event& e) {
+    if (const auto* f = std::get_if<FaultInjected>(&e)) {
+      if (std::string(f->kind) == "node_crash") fault_span = f->span;
+    }
+  });
+  ASSERT_NE(fault_span, kNoSpan);
+  // The failover migration of the component hosted on the downed node must
+  // carry the fault's span as its parent — the causal chain the report and
+  // `journal query --span` walk.
+  bool chained = false;
+  scene.recorder().journal().for_each([&](const Event& e) {
+    if (const auto* m = std::get_if<MigrationStarted>(&e)) {
+      if (m->parent == fault_span) chained = true;
+    }
+  });
+  EXPECT_TRUE(chained);
+}
+
+// ---- Perfetto trace round trip ----
+
+TEST(Journal, TraceRoundTripPreservesNestingAndCounts) {
+  EventJournal journal;
+  ControllerRound round{sim::seconds(10), 0, 1, 1};
+  round.span = 7;
+  ReallocationSolved realloc_ev{sim::seconds(10), 3, 2, false};
+  realloc_ev.span = 8;
+  realloc_ev.parent = 7;
+  MigrationStarted started{sim::seconds(10), 0, 1, 0, 1};
+  started.span = 9;
+  started.parent = 7;
+  MigrationCompleted done{sim::seconds(30), 0, 1, 0, 1, sim::seconds(20)};
+  done.span = 9;
+  done.parent = 7;
+  journal.record(realloc_ev);
+  journal.record(started);
+  journal.record(done);
+  journal.record(round);  // parents may be journalled after their children
+
+  const std::string trace = journal.to_trace();
+
+  // Parse the entries back out: one line per event, identified by "cat".
+  std::size_t entries = 0;
+  std::string round_line;
+  std::size_t start = 0;
+  for (std::size_t nl = trace.find('\n'); nl != std::string::npos;
+       start = nl + 1, nl = trace.find('\n', start)) {
+    const std::string line = trace.substr(start, nl - start);
+    if (line.find("\"cat\":") == std::string::npos) continue;
+    ++entries;
+    if (line.find("\"cat\":\"controller_round\"") != std::string::npos) {
+      round_line = line;
+    }
+    // Every entry's args carry the full journal record with span ids.
+    EXPECT_NE(line.find("\"span\":"), std::string::npos) << line;
+  }
+  EXPECT_EQ(entries, journal.size());
+
+  // The round caused work ending at t=30s, so its instant is promoted to a
+  // duration slice spanning the whole subtree — descendants nest inside.
+  ASSERT_FALSE(round_line.empty());
+  EXPECT_NE(round_line.find("\"ph\":\"X\""), std::string::npos) << round_line;
+  EXPECT_NE(round_line.find(util::str_format(
+                "\"dur\":%lld", static_cast<long long>(sim::seconds(20)))),
+            std::string::npos)
+      << round_line;
+  EXPECT_NE(round_line.find("\"parent\":0"), std::string::npos) << round_line;
+}
+
+// ---- Flight recorder ----
+
+TEST(Flight, DumpKeepsLastEventsWithHeaderAndMetrics) {
+  Recorder rec;
+  for (int i = 0; i < 10; ++i) {
+    rec.record(HeadroomViolation{sim::seconds(i), i, i});
+  }
+  FlightRecorder flight(rec, {.last_events = 3,
+                              .directory = ::testing::TempDir(),
+                              .tag = "unit"});
+  ASSERT_TRUE(flight.dump("test_reason"));
+  EXPECT_TRUE(flight.dumped());
+
+  std::ifstream in(flight.path());
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  // header + 3 kept events + metrics trailer.
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines[0].find("\"type\":\"flight_header\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"why\":\"test_reason\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"build\":{"), std::string::npos);
+  std::vector<std::pair<std::string, std::string>> fields;
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(parse_journal_line(lines[i], fields)) << lines[i];
+    // The kept events are the LAST three (links 7..9).
+    EXPECT_EQ(field(fields, "link"), std::to_string(6 + i));
+  }
+  EXPECT_NE(lines[4].find("\"type\":\"flight_metrics\""), std::string::npos);
+  std::remove(flight.path().c_str());
+}
+
+TEST(Flight, InvariantViolationTriggersOneDump) {
+  Rig rig;
+  rig.orch->deploy(tiny_app(), core::SchedulerKind::kBassBfs).take();
+  FlightRecorder flight(rig.recorder, {.last_events = 16,
+                                       .directory = ::testing::TempDir(),
+                                       .tag = "invariant_unit"});
+  std::remove(flight.path().c_str());
+  fault::Invariants inv(*rig.orch, &rig.recorder);
+  int hook_calls = 0;
+  inv.set_violation_hook([&](const char* name, const std::string&) {
+    ++hook_calls;
+    flight.dump_once(name);
+  });
+  EXPECT_EQ(inv.check_now(), 0);
+  EXPECT_EQ(hook_calls, 0);
+
+  // Corrupt resource accounting behind the orchestrator's back: a phantom
+  // allocation the deployment bookkeeping can never explain.
+  ASSERT_TRUE(rig.cluster.allocate(0, 500, 64));
+  EXPECT_GT(inv.check_now(), 0);
+  EXPECT_GT(hook_calls, 0);
+  EXPECT_TRUE(flight.dumped());
+
+  // The dump is parseable and carries the violation's journal record.
+  std::ifstream in(flight.path());
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"type\":\"flight_header\""), std::string::npos);
+  EXPECT_NE(contents.find("\"type\":\"invariant_violation\""), std::string::npos);
+  EXPECT_NE(contents.find("\"type\":\"flight_metrics\""), std::string::npos);
+
+  // dump_once is once: further violations must not rewrite the file.
+  std::remove(flight.path().c_str());
+  EXPECT_GT(inv.check_now(), 0);  // still violated
+  EXPECT_FALSE(std::ifstream(flight.path()).good());
 }
 
 // ---- Scenario wiring ----
@@ -424,6 +771,8 @@ TEST(Scenario, RecorderCoversConstructionAndRun) {
     ASSERT_TRUE(parse_journal_line(line, fields)) << line;
     EXPECT_NE(field(fields, "t_us"), "<missing>");
     EXPECT_NE(field(fields, "type"), "<missing>");
+    EXPECT_NE(field(fields, "span"), "<missing>");
+    EXPECT_NE(field(fields, "parent"), "<missing>");
     ++lines;
   }
   std::fclose(f);

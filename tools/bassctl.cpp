@@ -2,18 +2,31 @@
 //
 //   bassctl validate <scenario.ini>        check a scenario without running
 //   bassctl run <scenario.ini> [--journal out.jsonl] [--metrics out.json]
-//               [--trace out.trace.json]   run it and print the report;
+//               [--trace out.trace.json] [--prom out.prom]
+//                                          run it and print the report;
 //                                          optionally export the event
 //                                          journal (JSON Lines), metrics
-//                                          snapshot, and Perfetto trace
+//                                          snapshot (JSON or Prometheus
+//                                          text), and Perfetto trace
 //   bassctl events <journal.jsonl> [--type T] [--since S] [--until S]
-//                                          filter/pretty-print a journal
+//                  [--last N]               filter/pretty-print a journal
+//   bassctl report <journal.jsonl> [--metrics metrics.json] [--prom out.prom]
+//                                          post-mortem: event census,
+//                                          decision-latency percentiles,
+//                                          fault timeline, and causal
+//                                          round->decision->migration chains
+//   bassctl journal query <journal.jsonl> [--type T] [--span N]
+//                  [--since-us U] [--last N]
+//                                          raw JSONL queries; --span selects
+//                                          a causal span and every event it
+//                                          transitively caused
 //   bassctl dot <scenario.ini> [out.dot]   export the initial placement
 //   bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]
 //                 [--fades] [--seed N] [--out trace.csv]
 //                                          generate a bandwidth trace CSV
 //   bassctl chaos <scenario.ini> [--seeds N] [--base-seed B] [--jobs N]
-//                 [--journal-dir DIR]      run the scenario's [chaos]/[fault]
+//                 [--journal-dir DIR] [--flight-dir DIR]
+//                                          run the scenario's [chaos]/[fault]
 //                                          plan under N seeds (fanned across
 //                                          N worker threads), report
 //                                          recovery-time and failed-placement
@@ -34,8 +47,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <variant>
 #include <vector>
 
@@ -57,13 +73,18 @@ int usage() {
                "usage:\n"
                "  bassctl [--log-level L] validate <scenario.ini>\n"
                "  bassctl [--log-level L] run <scenario.ini> [--journal out.jsonl]\n"
-               "          [--metrics out.json] [--trace out.trace.json]\n"
+               "          [--metrics out.json] [--trace out.trace.json] [--prom out.prom]\n"
                "  bassctl events <journal.jsonl> [--type T] [--since S] [--until S]\n"
+               "                 [--last N]\n"
+               "  bassctl report <journal.jsonl> [--metrics metrics.json]\n"
+               "                 [--prom out.prom]\n"
+               "  bassctl journal query <journal.jsonl> [--type T] [--span N]\n"
+               "                 [--since-us U] [--last N]\n"
                "  bassctl dot <scenario.ini> [out.dot]\n"
                "  bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]\n"
                "                [--fades] [--seed N] [--out trace.csv]\n"
                "  bassctl chaos <scenario.ini> [--seeds N] [--base-seed B]\n"
-               "                [--jobs N] [--journal-dir DIR]\n"
+               "                [--jobs N] [--journal-dir DIR] [--flight-dir DIR]\n"
                "  bassctl sweep <scenario.ini> [--thresholds a,b,..] [--headrooms a,b,..]\n"
                "                [--seeds N] [--base-seed B] [--jobs N] [--out sweep.json]\n");
   return 2;
@@ -128,7 +149,7 @@ int cmd_validate(const std::string& path) {
 
 int cmd_run(const std::vector<std::string>& args) {
   std::string path;
-  std::string journal_path, metrics_path, trace_path;
+  std::string journal_path, metrics_path, trace_path, prom_path;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--journal" && i + 1 < args.size()) {
       journal_path = args[++i];
@@ -136,6 +157,8 @@ int cmd_run(const std::vector<std::string>& args) {
       metrics_path = args[++i];
     } else if (args[i] == "--trace" && i + 1 < args.size()) {
       trace_path = args[++i];
+    } else if (args[i] == "--prom" && i + 1 < args.size()) {
+      prom_path = args[++i];
     } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
       path = args[i];
     } else {
@@ -197,6 +220,15 @@ int cmd_run(const std::vector<std::string>& args) {
     }
     std::printf("trace      %s (open in https://ui.perfetto.dev)\n", trace_path.c_str());
   }
+  if (!prom_path.empty()) {
+    std::ofstream out(prom_path);
+    if (!out || !(out << recorder.metrics().to_prometheus(scene.now()))) {
+      std::fprintf(stderr, "cannot write '%s'\n", prom_path.c_str());
+      return 1;
+    }
+    std::printf("prom       %zu instruments -> %s\n",
+                recorder.metrics().instrument_count(), prom_path.c_str());
+  }
   return 0;
 }
 
@@ -206,6 +238,7 @@ int cmd_events(const std::vector<std::string>& args) {
   std::string path;
   std::string type_filter;
   double since_s = -1, until_s = -1;
+  std::uint64_t last = 0;  // 0 = unlimited
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--type" && i + 1 < args.size()) {
       type_filter = args[++i];
@@ -213,6 +246,8 @@ int cmd_events(const std::vector<std::string>& args) {
       since_s = std::atof(args[++i].c_str());
     } else if (args[i] == "--until" && i + 1 < args.size()) {
       until_s = std::atof(args[++i].c_str());
+    } else if (args[i] == "--last" && i + 1 < args.size()) {
+      if (!parse_u64_flag("--last", args[++i], 1, last)) return 2;
     } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
       path = args[i];
     } else {
@@ -228,7 +263,8 @@ int cmd_events(const std::vector<std::string>& args) {
   }
   std::string line;
   std::vector<std::pair<std::string, std::string>> fields;
-  std::size_t lineno = 0, shown = 0;
+  std::size_t lineno = 0;
+  std::vector<std::string> formatted;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
@@ -244,6 +280,8 @@ int cmd_events(const std::vector<std::string>& args) {
         t_s = std::atof(value.c_str()) / 1e6;
       } else if (key == "type") {
         type = value.size() >= 2 ? value.substr(1, value.size() - 2) : value;
+      } else if ((key == "span" || key == "parent") && value == "0") {
+        // An unset span id is noise, not information — hide it.
       } else {
         if (!rest.empty()) rest += "  ";
         rest += key + "=";
@@ -258,10 +296,17 @@ int cmd_events(const std::vector<std::string>& args) {
     if (!type_filter.empty() && type != type_filter) continue;
     if (since_s >= 0 && t_s < since_s) continue;
     if (until_s >= 0 && t_s > until_s) continue;
-    std::printf("%10.3fs  %-22s %s\n", t_s, type.c_str(), rest.c_str());
-    ++shown;
+    formatted.push_back(
+        util::str_format("%10.3fs  %-22s %s", t_s, type.c_str(), rest.c_str()));
   }
-  std::fprintf(stderr, "%zu events\n", shown);
+  // --last applies after the other filters: "the last 20 migrations", not
+  // "migrations among the last 20 events".
+  const std::size_t first =
+      last != 0 && formatted.size() > last ? formatted.size() - last : 0;
+  for (std::size_t i = first; i < formatted.size(); ++i) {
+    std::printf("%s\n", formatted[i].c_str());
+  }
+  std::fprintf(stderr, "%zu events\n", formatted.size() - first);
   return 0;
 }
 
@@ -336,6 +381,365 @@ int cmd_trace(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- journal analysis (report / journal query) ----
+
+// One parsed journal line. `raw` keeps the original text so queries can
+// re-emit valid JSONL.
+struct JournalLine {
+  std::string raw;
+  double t_us = 0;
+  std::string type;
+  std::uint64_t span = 0, parent = 0;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+// Field lookup with JSON string quotes stripped; "" when absent.
+std::string field_of(const JournalLine& e, const char* key) {
+  for (const auto& [k, v] : e.fields) {
+    if (k == key) {
+      if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+        return v.substr(1, v.size() - 2);
+      }
+      return v;
+    }
+  }
+  return "";
+}
+
+// Loads a journal, tolerating non-event lines (a flight dump's metrics
+// trailer nests objects the flat parser rejects) with a warning — the
+// analysis commands should work on flight recordings too.
+bool load_journal(const std::string& path, std::vector<JournalLine>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0, skipped = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JournalLine e;
+    if (!obs::parse_journal_line(line, e.fields)) {
+      ++skipped;
+      continue;
+    }
+    e.raw = std::move(line);
+    line.clear();
+    e.t_us = std::atof(field_of(e, "t_us").c_str());
+    e.type = field_of(e, "type");
+    e.span = std::strtoull(field_of(e, "span").c_str(), nullptr, 10);
+    e.parent = std::strtoull(field_of(e, "parent").c_str(), nullptr, 10);
+    out.push_back(std::move(e));
+  }
+  if (skipped != 0) {
+    std::fprintf(stderr, "%s: skipped %zu non-event lines\n", path.c_str(),
+                 skipped);
+  }
+  return true;
+}
+
+// Extracts `"key":value` from one line of a metrics snapshot. Not a JSON
+// parser: the snapshot is our own single-instrument-per-line format with
+// percentiles pre-computed at export time, so a string scan suffices.
+bool json_field(const std::string& line, const char* key, std::string& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t i = pos + needle.size();
+  if (i < line.size() && line[i] == '"') {
+    const std::size_t end = line.find('"', i + 1);
+    if (end == std::string::npos) return false;
+    out = line.substr(i + 1, end - i - 1);
+  } else {
+    std::size_t end = i;
+    while (end < line.size() && line[end] != ',' && line[end] != '}' &&
+           line[end] != ']') {
+      ++end;
+    }
+    out = util::trim(line.substr(i, end - i));
+  }
+  return !out.empty();
+}
+
+struct LatencySummary {
+  std::string name;
+  long long count = 0;
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+// Lifts every histogram instrument (fixed or log2) out of a metrics
+// snapshot written by `bassctl run --metrics` / `chaos --journal-dir`.
+std::vector<LatencySummary> load_latency_summaries(const std::string& path) {
+  std::vector<LatencySummary> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string name, p50, v;
+    if (!json_field(line, "p50", p50) || !json_field(line, "name", name)) {
+      continue;
+    }
+    LatencySummary s;
+    s.name = std::move(name);
+    s.p50 = std::atof(p50.c_str());
+    if (json_field(line, "p90", v)) s.p90 = std::atof(v.c_str());
+    if (json_field(line, "p99", v)) s.p99 = std::atof(v.c_str());
+    if (json_field(line, "max", v)) s.max = std::atof(v.c_str());
+    if (json_field(line, "count", v)) s.count = std::atoll(v.c_str());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string prom_safe(const std::string& name) {
+  std::string out = "bass_";
+  for (char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+// Post-mortem over a journal: event census, latency percentiles from the
+// sibling metrics snapshot, the fault timeline, and causal chains stitched
+// from span/parent links — which round or fault caused which migration.
+int cmd_report(const std::vector<std::string>& args) {
+  std::string path, metrics_path, prom_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else if (args[i] == "--prom" && i + 1 < args.size()) {
+      prom_path = args[++i];
+    } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
+      path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::vector<JournalLine> events;
+  if (!load_journal(path, events)) return 1;
+
+  // Auto-discover the sibling snapshot `chaos --journal-dir` writes:
+  // seed_7.jsonl -> seed_7.metrics.json.
+  if (metrics_path.empty()) {
+    std::string candidate = path;
+    const std::size_t suffix = candidate.rfind(".jsonl");
+    if (suffix != std::string::npos) candidate.resize(suffix);
+    candidate += ".metrics.json";
+    if (std::ifstream(candidate).good()) metrics_path = candidate;
+  }
+
+  // Event census.
+  std::map<std::string, std::size_t> counts;
+  for (const JournalLine& e : events) ++counts[e.type];
+  std::printf("journal    %zu events", events.size());
+  if (!events.empty()) {
+    std::printf(" over %.3f s", events.back().t_us / 1e6);
+  }
+  std::printf("\n");
+  for (const auto& [type, n] : counts) {
+    std::printf("  %-24s %6zu\n", type.c_str(), n);
+  }
+
+  // Latency percentiles.
+  const std::vector<LatencySummary> latencies =
+      metrics_path.empty() ? std::vector<LatencySummary>{}
+                           : load_latency_summaries(metrics_path);
+  if (!latencies.empty()) {
+    std::printf("\nlatency (%s)\n  %-28s %8s %10s %10s %10s %10s\n",
+                metrics_path.c_str(), "histogram", "count", "p50", "p90",
+                "p99", "max");
+    for (const LatencySummary& s : latencies) {
+      std::printf("  %-28s %8lld %10.1f %10.1f %10.1f %10.1f\n",
+                  s.name.c_str(), s.count, s.p50, s.p90, s.p99, s.max);
+      if (s.name == "orchestrator.decision_us") {
+        std::printf("  decision latency: p50 %.1f us, p99 %.1f us over %lld"
+                    " controller rounds\n", s.p50, s.p99, s.count);
+      }
+    }
+  } else {
+    std::printf("\nno metrics snapshot found (pass --metrics, or export one"
+                " with `bassctl run --metrics`); skipping latency"
+                " percentiles\n");
+  }
+
+  // Fault timeline.
+  bool any_fault = false;
+  for (const JournalLine& e : events) {
+    if (e.type != "fault_injected" && e.type != "invariant_violation") continue;
+    if (!any_fault) std::printf("\nfault timeline\n");
+    any_fault = true;
+    if (e.type == "fault_injected") {
+      const std::string peer = field_of(e, "peer");
+      std::printf("  %9.3fs  %-18s node %s%s%s  (span %llu)\n", e.t_us / 1e6,
+                  field_of(e, "kind").c_str(), field_of(e, "node").c_str(),
+                  peer == "-1" ? "" : " peer ",
+                  peer == "-1" ? "" : peer.c_str(),
+                  static_cast<unsigned long long>(e.span));
+    } else {
+      std::printf("  %9.3fs  INVARIANT %-9s %s\n", e.t_us / 1e6,
+                  field_of(e, "name").c_str(), field_of(e, "detail").c_str());
+    }
+  }
+
+  // Causal chains: every completed migration traced back through its span's
+  // parent to the controller round or fault that decided it.
+  std::unordered_map<std::uint64_t, const JournalLine*> cause_by_span;
+  std::unordered_map<std::uint64_t, const JournalLine*> started_by_span;
+  std::unordered_map<std::uint64_t, std::size_t> reallocs_by_parent;
+  for (const JournalLine& e : events) {
+    if (e.span != 0 &&
+        (e.type == "controller_round" || e.type == "fault_injected" ||
+         e.type == "probe_completed")) {
+      cause_by_span.emplace(e.span, &e);
+    }
+    if (e.type == "migration_started" && e.span != 0) {
+      started_by_span.emplace(e.span, &e);
+    }
+    if (e.type == "reallocation_solved" && e.parent != 0) {
+      ++reallocs_by_parent[e.parent];
+    }
+  }
+  std::size_t chains = 0, migrations = 0;
+  std::string chain_text;
+  for (const JournalLine& e : events) {
+    if (e.type != "migration_completed") continue;
+    ++migrations;
+    const auto started = started_by_span.find(e.span);
+    const std::uint64_t parent =
+        started != started_by_span.end() ? started->second->parent : e.parent;
+    std::string line = "  ";
+    const auto cause = cause_by_span.find(parent);
+    if (cause != cause_by_span.end()) {
+      const JournalLine& c = *cause->second;
+      if (c.type == "controller_round") {
+        line += util::str_format("round@%.3fs (span %llu, %s violating)",
+                                 c.t_us / 1e6,
+                                 static_cast<unsigned long long>(c.span),
+                                 field_of(c, "violating").c_str());
+      } else {
+        line += util::str_format("%s %s@%.3fs (span %llu)", c.type.c_str(),
+                                 field_of(c, "kind").c_str(), c.t_us / 1e6,
+                                 static_cast<unsigned long long>(c.span));
+      }
+      ++chains;
+    } else if (parent != 0) {
+      line += util::str_format("span %llu (cause not in journal)",
+                               static_cast<unsigned long long>(parent));
+    } else {
+      line += "manual/experiment";
+    }
+    const auto reallocs = reallocs_by_parent.find(parent);
+    line += util::str_format(
+        " -> decision (%zu reallocs)",
+        reallocs != reallocs_by_parent.end() ? reallocs->second
+                                             : static_cast<std::size_t>(0));
+    line += util::str_format(
+        " -> migration c%s n%s->n%s %s (span %llu, downtime %.1fs)",
+        field_of(e, "component").c_str(), field_of(e, "from").c_str(),
+        field_of(e, "to").c_str(), field_of(e, "reason").c_str(),
+        static_cast<unsigned long long>(e.span),
+        std::atof(field_of(e, "downtime_us").c_str()) / 1e6);
+    chain_text += line + "\n";
+  }
+  if (migrations != 0) {
+    std::printf("\ncausality (%zu/%zu migrations traced to their cause)\n%s",
+                chains, migrations, chain_text.c_str());
+  }
+
+  // Optional Prometheus re-export of what the report parsed — enough for a
+  // scrape job that only has the artifacts, not a live run.
+  if (!prom_path.empty()) {
+    std::string prom;
+    for (const LatencySummary& s : latencies) {
+      const std::string name = prom_safe(s.name);
+      prom += "# TYPE " + name + " summary\n";
+      prom += name + "{quantile=\"0.5\"} " + util::str_format("%g", s.p50) + "\n";
+      prom += name + "{quantile=\"0.9\"} " + util::str_format("%g", s.p90) + "\n";
+      prom += name + "{quantile=\"0.99\"} " + util::str_format("%g", s.p99) + "\n";
+      prom += name + util::str_format("_count %lld\n", s.count);
+    }
+    for (const auto& [type, n] : counts) {
+      const std::string name = prom_safe("journal.events_total");
+      prom += name + "{type=\"" + type + "\"} " + std::to_string(n) + "\n";
+    }
+    std::ofstream out(prom_path);
+    if (!out || !(out << prom)) {
+      std::fprintf(stderr, "cannot write '%s'\n", prom_path.c_str());
+      return 1;
+    }
+    std::printf("\nprom       %s\n", prom_path.c_str());
+  }
+  return 0;
+}
+
+// Raw JSONL queries for scripting: output lines are the original journal
+// records, so results pipe straight back into `events`, `report`, or jq.
+int cmd_journal(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] != "query") return usage();
+  std::string path, type_filter;
+  std::uint64_t span = 0, last = 0, since_us = 0;
+  bool have_span = false, have_since = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--type" && i + 1 < args.size()) {
+      type_filter = args[++i];
+    } else if (args[i] == "--span" && i + 1 < args.size()) {
+      if (!parse_u64_flag("--span", args[++i], 1, span)) return 2;
+      have_span = true;
+    } else if (args[i] == "--since-us" && i + 1 < args.size()) {
+      if (!parse_u64_flag("--since-us", args[++i], 0, since_us)) return 2;
+      have_since = true;
+    } else if (args[i] == "--last" && i + 1 < args.size()) {
+      if (!parse_u64_flag("--last", args[++i], 1, last)) return 2;
+    } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
+      path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::vector<JournalLine> events;
+  if (!load_journal(path, events)) return 1;
+
+  // --span selects the causal subtree: the span's own events plus everything
+  // it transitively caused. Span ids are allocated parent-first, so one
+  // forward pass closes the tree; iterate to a fixpoint anyway — journals
+  // get truncated and concatenated by hand.
+  std::unordered_set<std::uint64_t> in_tree;
+  if (have_span) {
+    in_tree.insert(span);
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const JournalLine& e : events) {
+        if (e.span != 0 && in_tree.count(e.parent) != 0 &&
+            in_tree.insert(e.span).second) {
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::vector<const std::string*> matched;
+  for (const JournalLine& e : events) {
+    if (!type_filter.empty() && e.type != type_filter) continue;
+    if (have_since && e.t_us < static_cast<double>(since_us)) continue;
+    if (have_span && in_tree.count(e.span) == 0 &&
+        in_tree.count(e.parent) == 0) {
+      continue;
+    }
+    matched.push_back(&e.raw);
+  }
+  const std::size_t first =
+      last != 0 && matched.size() > last ? matched.size() - last : 0;
+  for (std::size_t i = first; i < matched.size(); ++i) {
+    std::printf("%s\n", matched[i]->c_str());
+  }
+  std::fprintf(stderr, "%zu events\n", matched.size() - first);
+  return 0;
+}
+
 // ---- bassctl chaos ----
 
 // Per-seed run specs for a chaos soak: only the [chaos] seed differs.
@@ -353,7 +757,7 @@ std::vector<exec::RunSpec> chaos_specs(bool has_chaos, std::uint64_t base_seed,
 }
 
 int cmd_chaos(const std::vector<std::string>& args) {
-  std::string path, journal_dir;
+  std::string path, journal_dir, flight_dir;
   std::uint64_t seeds = 3, base_seed = 1, jobs = 1;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--seeds" && i + 1 < args.size()) {
@@ -365,6 +769,8 @@ int cmd_chaos(const std::vector<std::string>& args) {
       if (!parse_u64_flag("--jobs", args[++i], 0, jobs)) return 2;
     } else if (args[i] == "--journal-dir" && i + 1 < args.size()) {
       journal_dir = args[++i];
+    } else if (args[i] == "--flight-dir" && i + 1 < args.size()) {
+      flight_dir = args[++i];
     } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
       path = args[i];
     } else {
@@ -390,11 +796,12 @@ int cmd_chaos(const std::vector<std::string>& args) {
     std::fprintf(stderr, "scenario error: %s\n", artifacts.error().c_str());
     return 1;
   }
-  if (!journal_dir.empty()) {
+  for (const std::string& dir : {journal_dir, flight_dir}) {
+    if (dir.empty()) continue;
     std::error_code ec;
-    std::filesystem::create_directories(journal_dir, ec);
+    std::filesystem::create_directories(dir, ec);
     if (ec) {
-      std::fprintf(stderr, "cannot create '%s': %s\n", journal_dir.c_str(),
+      std::fprintf(stderr, "cannot create '%s': %s\n", dir.c_str(),
                    ec.message().c_str());
       return 1;
     }
@@ -402,8 +809,17 @@ int cmd_chaos(const std::vector<std::string>& args) {
 
   // Fan the seeds across workers; outcomes come back indexed by seed order,
   // so everything below prints exactly as the serial soak did.
-  const auto outcomes = exec::run_sweep(
-      artifacts.value(), chaos_specs(has_chaos, base_seed, seeds), jobs);
+  std::vector<exec::RunSpec> specs = chaos_specs(has_chaos, base_seed, seeds);
+  if (!flight_dir.empty()) {
+    // Arm the in-scenario flight recorder: a seed that trips an invariant
+    // leaves flight_<seed>.jsonl behind even though its Scenario is torn
+    // down inside the sweep (the seed overrides above become the tag).
+    for (exec::RunSpec& spec : specs) {
+      spec.overrides.push_back({"obs", "flight", "true"});
+      spec.overrides.push_back({"obs", "flight_dir", flight_dir});
+    }
+  }
+  const auto outcomes = exec::run_sweep(artifacts.value(), specs, jobs);
 
   int total_violations = 0;
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -430,14 +846,36 @@ int cmd_chaos(const std::vector<std::string>& args) {
         r.components_down);
 
     if (!journal_dir.empty()) {
-      const std::string out_path =
-          journal_dir + "/seed_" + std::to_string(seed) + ".jsonl";
-      std::ofstream out(out_path);
+      const std::string stem = journal_dir + "/seed_" + std::to_string(seed);
+      std::ofstream out(stem + ".jsonl");
       if (!out || !(out << r.journal)) {
-        std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+        std::fprintf(stderr, "cannot write '%s.jsonl'\n", stem.c_str());
+        return 1;
+      }
+      // Sibling snapshot so `bassctl report <stem>.jsonl` can auto-discover
+      // the latency percentiles — wall-clock timings never enter journals.
+      std::ofstream metrics(stem + ".metrics.json");
+      if (!metrics || !(metrics << r.metrics_json)) {
+        std::fprintf(stderr, "cannot write '%s.metrics.json'\n", stem.c_str());
         return 1;
       }
     }
+  }
+
+  // Soak-wide decision latency: merge the per-seed log histograms (each seed
+  // ran in its own recorder) and report the pooled percentiles.
+  obs::LogHistogram decision_us;
+  for (const exec::RunOutcome& r : outcomes) {
+    for (const auto& [name, h] : r.latency_histograms) {
+      if (name == "orchestrator.decision_us") decision_us.merge(h);
+    }
+  }
+  if (decision_us.count() > 0) {
+    std::printf("decision latency: p50 %.1f us, p99 %.1f us, max %.1f us"
+                " over %lld controller rounds (%llu seeds)\n",
+                decision_us.percentile(0.50), decision_us.percentile(0.99),
+                decision_us.max(), static_cast<long long>(decision_us.count()),
+                static_cast<unsigned long long>(seeds));
   }
 
   // Determinism: replaying the first seed (serially) must produce a
@@ -630,6 +1068,8 @@ int main(int argc, char** argv) {
   if (cmd == "validate" && args.size() == 1) return cmd_validate(args[0]);
   if (cmd == "run") return cmd_run(args);
   if (cmd == "events") return cmd_events(args);
+  if (cmd == "report") return cmd_report(args);
+  if (cmd == "journal") return cmd_journal(args);
   if (cmd == "dot" && (args.size() == 1 || args.size() == 2)) {
     return cmd_dot(args[0], args.size() == 2 ? args[1] : "");
   }
