@@ -63,6 +63,18 @@ const Orchestrator::Deployment& Orchestrator::dep(DeploymentId id) const {
   return *deployments_.at(static_cast<std::size_t>(id));
 }
 
+void Orchestrator::warn(const char* what, DeploymentId id, net::NodeId node) {
+  if (recorder_ == nullptr) return;
+  obs::OrchestratorWarning w;
+  w.at = sim_->now();
+  w.what = what;
+  w.deployment = id;
+  w.node = node;
+  w.span = recorder_->new_span();
+  w.parent = recorder_->current_span();
+  recorder_->record(w);
+}
+
 void Orchestrator::set_recorder(obs::Recorder* recorder) {
   recorder_ = recorder;
   if (recorder == nullptr) {
@@ -85,7 +97,15 @@ std::unique_ptr<sched::NetworkView> Orchestrator::make_view() const {
   return std::make_unique<sched::LiveNetworkView>(*network_);
 }
 
-util::Expected<DeploymentId> Orchestrator::deploy(app::AppGraph app, SchedulerKind kind) {
+util::Expected<DeploymentId> Orchestrator::deploy(app::AppGraph app, SchedulerKind kind,
+                                                  const std::string& instance) {
+  if (!instance.empty() && find_instance(instance) != kInvalidDeployment) {
+    // Double-applying would reserve the app's resources a second time under
+    // the same identity; reject loudly instead.
+    warn("duplicate_deployment", find_instance(instance), net::kInvalidNode);
+    util::log_warn() << "deploy: instance '" << instance << "' is already active";
+    return util::make_error("instance '" + instance + "' is already deployed");
+  }
   const auto view = make_view();
   std::unique_ptr<sched::Scheduler> scheduler;
   switch (kind) {
@@ -128,6 +148,8 @@ util::Expected<DeploymentId> Orchestrator::deploy(app::AppGraph app, SchedulerKi
 
   auto d = std::make_unique<Deployment>();
   d->app = std::move(app);
+  d->instance = instance;
+  d->deployed_at = sim_->now();
   d->placement = result.take();
   d->up.assign(static_cast<std::size_t>(d->app.component_count()), true);
   for (const auto& [component, node] : d->placement) {
@@ -173,6 +195,7 @@ util::Expected<DeploymentId> Orchestrator::deploy_with_placement(
 
   auto d = std::make_unique<Deployment>();
   d->app = std::move(app);
+  d->deployed_at = sim_->now();
   d->placement = std::move(placement);
   d->up.assign(static_cast<std::size_t>(d->app.component_count()), true);
   const DeploymentId id = static_cast<DeploymentId>(deployments_.size());
@@ -220,6 +243,66 @@ bool Orchestrator::update_edge_bandwidth(DeploymentId id, app::ComponentId from,
   return dep(id).app.set_edge_bandwidth(from, to, bandwidth);
 }
 
+bool Orchestrator::deployment_active(DeploymentId id) const {
+  return id >= 0 && id < static_cast<DeploymentId>(deployments_.size()) &&
+         dep(id).active;
+}
+
+DeploymentId Orchestrator::find_instance(const std::string& instance) const {
+  if (instance.empty()) return kInvalidDeployment;
+  for (DeploymentId id = 0; id < static_cast<DeploymentId>(deployments_.size()); ++id) {
+    const Deployment& d = dep(id);
+    if (d.active && d.instance == instance) return id;
+  }
+  return kInvalidDeployment;
+}
+
+int Orchestrator::live_deployment_count() const {
+  int live = 0;
+  for (const auto& d : deployments_) {
+    if (d->active) ++live;
+  }
+  return live;
+}
+
+bool Orchestrator::undeploy(DeploymentId id) {
+  if (!deployment_active(id)) {
+    warn("undeploy_inactive", id, net::kInvalidNode);
+    util::log_warn() << "undeploy: deployment " << id << " is not active";
+    return false;
+  }
+  Deployment& d = dep(id);
+  // Stop the controller first so no new moves start mid-teardown; in-flight
+  // bring-up/recovery callbacks check `active` and become no-ops.
+  disable_migration(id);
+  int torn_down = 0;
+  for (app::ComponentId c = 0; c < d.app.component_count(); ++c) {
+    if (!d.up[static_cast<std::size_t>(c)]) continue;  // mid-move: already released
+    const auto& comp = d.app.component(c);
+    d.up[static_cast<std::size_t>(c)] = false;
+    if (needs_resources(comp)) {
+      cluster_->release(node_of(id, c), comp.cpu_milli, comp.memory_mb);
+    }
+    for (DeploymentListener* l : d.listeners) l->on_component_down(c);
+    ++torn_down;
+  }
+  d.active = false;
+  d.listeners.clear();
+  util::log_info() << "undeployed '" << d.app.name() << "' (" << torn_down
+                   << " components)";
+  if (recorder_ != nullptr) {
+    obs::DeploymentClosed closed;
+    closed.at = sim_->now();
+    closed.deployment = id;
+    closed.components = torn_down;
+    closed.lifetime = sim_->now() - d.deployed_at;
+    closed.span = recorder_->new_span();
+    closed.parent = recorder_->current_span();
+    recorder_->record(closed);
+  }
+  return true;
+}
+
 void Orchestrator::enable_migration(DeploymentId id, controller::MigrationParams params) {
   Deployment& d = dep(id);
   if (d.migration_enabled) disable_migration(id);
@@ -250,6 +333,7 @@ const controller::MigrationParams* Orchestrator::migration_params(DeploymentId i
 
 void Orchestrator::controller_evaluate(DeploymentId id) {
   Deployment& d = dep(id);
+  if (!d.active) return;  // tick raced an undeploy in the same round
   const auto view = make_view();
   const sim::Time now = sim_->now();
 
@@ -479,7 +563,13 @@ int Orchestrator::drain_node(net::NodeId node) {
 }
 
 void Orchestrator::fail_node(net::NodeId node, sim::Duration detection_delay) {
-  if (failed_nodes_.count(node)) return;  // already down
+  if (failed_nodes_.count(node)) {
+    // Idempotent, but loudly so: double-failing used to be silent, which
+    // hid injector/scenario bugs that fired the same crash twice.
+    warn("node_already_failed", kInvalidDeployment, node);
+    util::log_warn() << "fail_node: node" << node << " is already down";
+    return;
+  }
   failed_nodes_.insert(node);
   cluster_->set_schedulable(node, false);
   int dropped = 0;
@@ -529,6 +619,9 @@ void Orchestrator::recover_component(DeploymentId id, app::ComponentId component
                                      net::NodeId failed_node, sim::Time went_down,
                                      obs::SpanId span, obs::SpanId parent) {
   Deployment& d = dep(id);
+  // The deployment departed while this component was waiting out its
+  // outage: stop the retry loop instead of reviving a ghost.
+  if (!d.active) return;
   const auto& comp = d.app.component(component);
   auto retry = [this, id, component, failed_node, went_down, span, parent] {
     sim_->schedule_after(
@@ -603,6 +696,7 @@ void Orchestrator::execute_move(DeploymentId id, app::ComponentId component,
   auto bring_up = [this, id, component, from, target, went_down, reason, span,
                    parent] {
     Deployment& d2 = dep(id);
+    if (!d2.active) return;  // undeployed mid-move: the migration is void
     const auto& c2 = d2.app.component(component);
     net::NodeId final_target = target;
     if (needs_resources(c2) &&

@@ -101,7 +101,27 @@ class Orchestrator {
   void set_recorder(obs::Recorder* recorder);
 
   // ---- Deployment lifecycle ----
-  util::Expected<DeploymentId> deploy(app::AppGraph app, SchedulerKind kind);
+  // `instance` optionally names the deployment for duplicate detection: a
+  // second deploy with the name of a still-active instance is rejected (and
+  // journals an orchestrator_warning) instead of silently double-applying
+  // resources. Empty skips the check — anonymous one-shot experiments keep
+  // their historical behavior.
+  util::Expected<DeploymentId> deploy(app::AppGraph app, SchedulerKind kind,
+                                      const std::string& instance = "");
+
+  // First-class departure: marks every live component down (listeners see
+  // on_component_down and close their streams), releases the node resources
+  // deploy acquired, cancels the controller loop and any in-flight moves
+  // (their bring-up lambdas become no-ops), and journals a typed
+  // DeploymentClosed event. Returns false — with a journaled warning — when
+  // `id` is unknown or already undeployed. DeploymentIds are never reused.
+  bool undeploy(DeploymentId id);
+
+  // False once undeploy(id) ran (ids stay valid for read accessors).
+  bool deployment_active(DeploymentId id) const;
+  // Active deployment with this instance name, or kInvalidDeployment.
+  DeploymentId find_instance(const std::string& instance) const;
+  int live_deployment_count() const;
 
   // Deploys with a caller-chosen placement (experiments reproducing the
   // paper's fixed initial deployments, e.g. "Pion server on node 2").
@@ -183,6 +203,9 @@ class Orchestrator {
  private:
   struct Deployment {
     app::AppGraph app{"unset"};
+    std::string instance;        // duplicate-detection name ("" = anonymous)
+    bool active = true;          // false after undeploy
+    sim::Time deployed_at = 0;
     sched::Placement placement;
     std::vector<bool> up;
     std::vector<DeploymentListener*> listeners;
@@ -197,6 +220,8 @@ class Orchestrator {
 
   Deployment& dep(DeploymentId id);
   const Deployment& dep(DeploymentId id) const;
+  // Journals an OrchestratorWarning (`what` must be a static literal).
+  void warn(const char* what, DeploymentId id, net::NodeId node);
   // The scheduler's view of the mesh: monitor cache when attached.
   std::unique_ptr<sched::NetworkView> make_view() const;
   void controller_evaluate(DeploymentId id);

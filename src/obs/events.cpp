@@ -53,6 +53,9 @@ struct NameVisitor {
   const char* operator()(const LinkCapacityChanged&) const { return "link_capacity_changed"; }
   const char* operator()(const FaultInjected&) const { return "fault_injected"; }
   const char* operator()(const InvariantViolation&) const { return "invariant_violation"; }
+  const char* operator()(const DeploymentClosed&) const { return "deployment_closed"; }
+  const char* operator()(const AdmissionOutcome&) const { return "admission_outcome"; }
+  const char* operator()(const OrchestratorWarning&) const { return "orchestrator_warning"; }
 };
 
 struct JsonVisitor {
@@ -116,6 +119,22 @@ struct JsonVisitor {
   void operator()(const InvariantViolation& e) const {
     out += util::str_format(",\"name\":\"%s\",\"detail\":", e.name);
     append_escaped(e.detail, out);
+  }
+  void operator()(const DeploymentClosed& e) const {
+    out += util::str_format(
+        ",\"deployment\":%d,\"components\":%d,\"lifetime_us\":%lld",
+        e.deployment, e.components, static_cast<long long>(e.lifetime));
+  }
+  void operator()(const AdmissionOutcome& e) const {
+    out += util::str_format(
+        ",\"instance\":%d,\"deployment\":%d,\"action\":\"%s\","
+        "\"queue_depth\":%d,\"wait_us\":%lld",
+        e.instance, e.deployment, e.action, e.queue_depth,
+        static_cast<long long>(e.wait));
+  }
+  void operator()(const OrchestratorWarning& e) const {
+    out += util::str_format(",\"what\":\"%s\",\"deployment\":%d,\"node\":%d",
+                            e.what, e.deployment, e.node);
   }
 };
 

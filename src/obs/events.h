@@ -148,10 +148,49 @@ struct InvariantViolation {
   SpanId parent = kNoSpan;
 };
 
+// A deployment departed: its components went down, resources were released,
+// and pending migrations were cancelled (Orchestrator::undeploy).
+struct DeploymentClosed {
+  sim::Time at = 0;
+  int deployment = -1;
+  int components = 0;           // components torn down (previously up)
+  sim::Duration lifetime = 0;   // deploy -> undeploy sim-time span
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
+};
+
+// The admission queue resolved one pending deploy request. `action` is a
+// static literal ("admit", "reject", "defer"); `deployment` is set only on
+// admit. POD by design (const char*, no std::string) so the recorder's
+// deferred-encode ring can memcpy-stage it.
+struct AdmissionOutcome {
+  sim::Time at = 0;
+  int instance = -1;            // workload-driver instance id
+  int deployment = -1;          // admitted DeploymentId, -1 otherwise
+  const char* action = "";
+  int queue_depth = 0;          // queued requests after this outcome
+  sim::Duration wait = 0;       // arrival -> outcome admission latency
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
+};
+
+// The orchestrator rejected a nonsensical or duplicate request instead of
+// silently double-applying state. `what` is a static literal
+// ("node_already_failed", "duplicate_deployment", "undeploy_inactive", ...).
+struct OrchestratorWarning {
+  sim::Time at = 0;
+  const char* what = "";
+  int deployment = -1;
+  net::NodeId node = net::kInvalidNode;
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
+};
+
 using Event = std::variant<ScheduleDecision, ProbeCompleted, HeadroomViolation,
                            MigrationStarted, MigrationCompleted, ControllerRound,
                            ReallocationSolved, LinkCapacityChanged, FaultInjected,
-                           InvariantViolation>;
+                           InvariantViolation, DeploymentClosed, AdmissionOutcome,
+                           OrchestratorWarning>;
 
 // Sim-time timestamp of any event.
 sim::Time event_time(const Event& event);

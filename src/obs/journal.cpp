@@ -73,6 +73,21 @@ struct TraceVisitor {
   TraceShape operator()(const InvariantViolation& e) const {
     return {kTidFault, e.at, -1, util::str_format("INVARIANT %s", e.name)};
   }
+  TraceShape operator()(const DeploymentClosed& e) const {
+    return {kTidScheduler, e.at, -1,
+            util::str_format("undeploy d%d (%d comps)", e.deployment,
+                             e.components)};
+  }
+  TraceShape operator()(const AdmissionOutcome& e) const {
+    // The admission wait renders as a slice covering arrival -> outcome.
+    return {kTidScheduler, e.at - std::max<sim::Duration>(e.wait, 0),
+            std::max<sim::Duration>(e.wait, 0),
+            util::str_format("%s i%d (depth %d)", e.action, e.instance,
+                             e.queue_depth)};
+  }
+  TraceShape operator()(const OrchestratorWarning& e) const {
+    return {kTidScheduler, e.at, -1, util::str_format("WARN %s", e.what)};
+  }
 };
 
 void append_escaped(const std::string& s, std::string& out) {

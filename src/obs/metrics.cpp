@@ -72,6 +72,25 @@ void Histogram::observe(double value) {
   }
 }
 
+void Histogram::merge(const Histogram& other) {
+  assert(boundaries_ == other.boundaries_ && "merge requires one ladder");
+  if (other.count_ == 0) return;  // empty right side: identity
+  for (std::size_t i = 0; i < buckets_.size() && i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    // Empty left side adopts the other's extremes rather than keeping the
+    // default-initialized 0.0 sentinels as fabricated observations.
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double Histogram::percentile(double q) const {
   if (count_ == 0) return 0.0;
   if (q <= 0.0) return min_;
@@ -249,10 +268,13 @@ std::string MetricsRegistry::to_json(sim::Time now) const {
         histograms += util::str_format(",\"count\":%lld,\"sum\":",
                                        static_cast<long long>(h.count()));
         append_double(h.sum(), histograms);
+        // min()/max() are NaN on empty histograms; JSON has no NaN literal,
+        // so snapshots keep the historical 0.0 placeholder (count
+        // disambiguates).
         histograms += ",\"min\":";
-        append_double(h.min(), histograms);
+        append_double(h.empty() ? 0.0 : h.min(), histograms);
         histograms += ",\"max\":";
-        append_double(h.max(), histograms);
+        append_double(h.empty() ? 0.0 : h.max(), histograms);
         histograms += ",\"p50\":";
         append_double(h.percentile(0.50), histograms);
         histograms += ",\"p90\":";
@@ -282,9 +304,9 @@ std::string MetricsRegistry::to_json(sim::Time now) const {
                                        static_cast<long long>(h.count()));
         append_double(h.sum(), histograms);
         histograms += ",\"min\":";
-        append_double(h.min(), histograms);
+        append_double(h.empty() ? 0.0 : h.min(), histograms);
         histograms += ",\"max\":";
-        append_double(h.max(), histograms);
+        append_double(h.empty() ? 0.0 : h.max(), histograms);
         histograms += ",\"p50\":";
         append_double(h.percentile(0.50), histograms);
         histograms += ",\"p90\":";

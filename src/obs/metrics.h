@@ -16,6 +16,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <functional>
 #include <memory>
 #include <string>
@@ -62,10 +63,23 @@ class Histogram {
   void observe(double value);
 
   std::int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
   double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Empty histograms have no extremes: min()/max() return NaN so "no data"
+  // can never be confused with an observed 0.0. Emitters that need a finite
+  // value (JSON, report tables) must check empty() first.
+  double min() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  // Folds `other` into this histogram. Both sides must share the same
+  // boundary ladder (asserted). Merging an empty side is an identity in
+  // either direction: an empty `other` changes nothing, and merging into an
+  // empty `this` adopts `other`'s extremes instead of fabricating 0.0 ones.
+  void merge(const Histogram& other);
   // Bucket-resolution quantile, q in [0, 1]: the upper boundary of the
   // bucket holding the ceil(q*count)-th sample, clamped to [min, max] so a
   // boundary-valued sample reports its own value (not the next bucket's
@@ -134,15 +148,22 @@ class LogHistogram {
   }
 
   std::int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
   double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // NaN when empty — same contract as Histogram::min()/max().
+  double min() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
 
   // Bucket-representative quantile clamped to [min, max]; q in [0, 1].
   double percentile(double q) const;
 
   // Folds `other` into this histogram (same fixed shape by construction).
+  // Merging an empty side is an identity in either direction.
   void merge(const LogHistogram& other);
 
   // Visits (bucket_upper, count) for every non-empty bucket, ascending.

@@ -30,7 +30,8 @@ Recorder::Recorder(RecorderConfig config)
       ScheduleDecision{}, ProbeCompleted{},     HeadroomViolation{},
       MigrationStarted{}, MigrationCompleted{}, ControllerRound{},
       ReallocationSolved{}, LinkCapacityChanged{}, FaultInjected{},
-      InvariantViolation{},
+      InvariantViolation{}, DeploymentClosed{},    AdmissionOutcome{},
+      OrchestratorWarning{},
   };
   static_assert(std::variant_size_v<Event> == sizeof(samples) / sizeof(samples[0]),
                 "register a counter sample for every event alternative");

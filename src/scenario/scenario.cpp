@@ -153,6 +153,57 @@ sim::Duration parse_duration(const util::IniFile& ini) {
   return sim::seconds_f(run ? run->number_or("duration_s", 600) : 600);
 }
 
+// Shared between from_ini's one-shot enable_migration and the serving
+// loop's per-admission controller parameters.
+controller::MigrationParams parse_migration_params(const util::IniSection& mig) {
+  controller::MigrationParams params;
+  params.utilization_threshold = mig.number_or("threshold", 0.65);
+  params.headroom_frac = mig.number_or("headroom", 0.2);
+  params.goodput_floor = mig.number_or("goodput_floor", 0.5);
+  params.evaluation_interval = sim::seconds_f(mig.number_or("interval_s", 30));
+  params.cooldown = sim::seconds_f(mig.number_or("cooldown_s", 30));
+  params.min_migration_gap = sim::seconds_f(mig.number_or("min_gap_s", 90));
+  return params;
+}
+
+util::Expected<ServeConfig> parse_serve_config(const util::IniFile& ini,
+                                               sim::Duration duration) {
+  const util::IniSection& serve = *ini.first_of_kind("serve");
+  ServeConfig cfg;
+  cfg.churn.seed = static_cast<std::uint64_t>(serve.number_or("seed", 1));
+  cfg.churn.arrival_per_min = serve.number_or("arrival_per_min", 2.0);
+  cfg.churn.diurnal_amplitude = serve.number_or("diurnal_amplitude", 0.0);
+  cfg.churn.diurnal_period =
+      sim::seconds_f(serve.number_or("diurnal_period_s", 1440));
+  cfg.churn.mean_lifetime = sim::seconds_f(serve.number_or("mean_lifetime_s", 300));
+  cfg.churn.duration = duration;
+  cfg.churn.camera_weight = serve.number_or("camera_weight", 1.0);
+  cfg.churn.conference_weight = serve.number_or("conference_weight", 1.0);
+  cfg.churn.social_weight = serve.number_or("social_weight", 1.0);
+  cfg.churn.resource_scale = serve.number_or("resource_scale", 0.25);
+
+  auto mode = parse_serve_mode(serve.get_or("mode", "adaptive"));
+  if (!mode.ok()) return util::make_error("[serve]: " + mode.error());
+  cfg.mode = mode.value();
+
+  auto policy = core::parse_admission_policy(serve.get_or("policy", "fifo"));
+  if (!policy.ok()) return util::make_error("[serve]: " + policy.error());
+  cfg.admission.policy = policy.value();
+  cfg.admission.retry_interval = sim::seconds_f(serve.number_or("retry_s", 30));
+  cfg.admission.max_retries = static_cast<int>(serve.number_or("max_retries", 5));
+
+  const auto* sched = ini.first_of_kind("scheduler");
+  cfg.scheduler = parse_scheduler(sched ? sched->get_or("kind", "auto") : "auto");
+  if (const auto* mig = ini.first_of_kind("migration")) {
+    cfg.migration = parse_migration_params(*mig);
+  }
+  cfg.rebalance_interval =
+      sim::seconds_f(serve.number_or("rebalance_interval_s", 120));
+  cfg.rebalance_max_moves = static_cast<int>(serve.number_or("rebalance_max_moves", 1));
+  cfg.rebalance_cpu_threshold = serve.number_or("rebalance_cpu_threshold", 0.85);
+  return cfg;
+}
+
 }  // namespace
 
 std::string app_fingerprint(const util::IniFile& ini) {
@@ -225,12 +276,16 @@ util::Expected<std::shared_ptr<const ScenarioAssets>> ScenarioAssets::preload(
         trace::generate_trace(parse_trace_gen_params(*section, duration), rng));
   }
 
-  auto built = build_app(ini, node_id);
-  if (!built.ok()) return err(built.error());
-  AppBuild build = built.take();
-  assets->app = std::make_shared<const app::AppGraph>(std::move(build.graph));
-  assets->conference_groups = std::move(build.conference_groups);
-  assets->is_conference = build.is_conference;
+  // Serving scenarios build their apps per-arrival from the churn schedule;
+  // there is no one-shot graph to preload (traces above still cache).
+  if (ini.first_of_kind("serve") == nullptr) {
+    auto built = build_app(ini, node_id);
+    if (!built.ok()) return err(built.error());
+    AppBuild build = built.take();
+    assets->app = std::make_shared<const app::AppGraph>(std::move(build.graph));
+    assets->conference_groups = std::move(build.conference_groups);
+    assets->is_conference = build.is_conference;
+  }
   assets->fingerprint = app_fingerprint(ini);
   return std::shared_ptr<const ScenarioAssets>(std::move(assets));
 }
@@ -385,27 +440,35 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(
   }
 
   // ---- Application ----
+  // A [serve] section switches the scenario from "deploy one app, run a
+  // workload against it" to the bassd serving loop: apps arrive via the
+  // churn schedule and go through admission, so there is nothing to build
+  // or deploy up front (and no one-shot profiler/workload).
+  const bool serving = ini.first_of_kind("serve") != nullptr;
   const auto* wl = ini.first_of_kind("workload");
   AppBuild app_build;
-  if (assets != nullptr && assets->app != nullptr &&
-      assets->fingerprint == app_fingerprint(ini)) {
-    // The cached graph was built from sections identical to ours: take a
-    // copy and skip the rebuild + validation.
-    app_build.graph = *assets->app;
-    app_build.conference_groups = assets->conference_groups;
-    app_build.is_conference = assets->is_conference;
-  } else {
-    auto built = build_app(
-        ini, [&s](const std::string& name) { return s->node_id(name); });
-    if (!built.ok()) return err(built.error());
-    app_build = built.take();
+  bool is_conference = false;
+  if (!serving) {
+    if (assets != nullptr && assets->app != nullptr &&
+        assets->fingerprint == app_fingerprint(ini)) {
+      // The cached graph was built from sections identical to ours: take a
+      // copy and skip the rebuild + validation.
+      app_build.graph = *assets->app;
+      app_build.conference_groups = assets->conference_groups;
+      app_build.is_conference = assets->is_conference;
+    } else {
+      auto built = build_app(
+          ini, [&s](const std::string& name) { return s->node_id(name); });
+      if (!built.ok()) return err(built.error());
+      app_build = built.take();
+    }
+    is_conference = app_build.is_conference;
   }
-  const bool is_conference = app_build.is_conference;
   const std::vector<std::pair<net::NodeId, int>>& conference_groups =
       app_build.conference_groups;
   app::AppGraph& graph = app_build.graph;
 
-  // ---- Deploy ----
+  // ---- Deploy / serving loop ----
   const auto* sched = ini.first_of_kind("scheduler");
   const auto kind = parse_scheduler(sched ? sched->get_or("kind", "auto") : "auto");
   // Probe the links once before placing if a monitor exists, so the
@@ -415,31 +478,32 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(
     s->sim_.run_until(sim::seconds(2));
   }
   if (has_traces) s->player_->start();
-  auto deployed = s->orch_->deploy(std::move(graph), kind);
-  if (!deployed.ok()) return err("placement failed: " + deployed.error());
-  s->deployment_ = deployed.value();
+  if (serving) {
+    auto serve_cfg = parse_serve_config(ini, s->duration_);
+    if (!serve_cfg.ok()) return err(serve_cfg.error());
+    s->serving_ = std::make_unique<ServingLoop>(*s->orch_, serve_cfg.take(),
+                                                s->monitor_.get());
+    s->serving_->set_recorder(s->recorder_.get());
+  } else {
+    auto deployed = s->orch_->deploy(std::move(graph), kind);
+    if (!deployed.ok()) return err("placement failed: " + deployed.error());
+    s->deployment_ = deployed.value();
 
-  // ---- Migration & profiler ----
-  if (const auto* mig = ini.first_of_kind("migration")) {
-    if (mig->flag_or("enabled", true)) {
-      controller::MigrationParams params;
-      params.utilization_threshold = mig->number_or("threshold", 0.65);
-      params.headroom_frac = mig->number_or("headroom", 0.2);
-      params.goodput_floor = mig->number_or("goodput_floor", 0.5);
-      params.evaluation_interval = sim::seconds_f(mig->number_or("interval_s", 30));
-      params.cooldown = sim::seconds_f(mig->number_or("cooldown_s", 30));
-      params.min_migration_gap = sim::seconds_f(mig->number_or("min_gap_s", 90));
-      s->orch_->enable_migration(s->deployment_, params);
+    // ---- Migration & profiler ----
+    if (const auto* mig = ini.first_of_kind("migration")) {
+      if (mig->flag_or("enabled", true)) {
+        s->orch_->enable_migration(s->deployment_, parse_migration_params(*mig));
+      }
     }
-  }
-  if (const auto* prof = ini.first_of_kind("profiler")) {
-    if (prof->flag_or("enabled", false)) {
-      profiler::ProfilerConfig pcfg;
-      pcfg.sample_interval = sim::seconds_f(prof->number_or("sample_interval_s", 10));
-      pcfg.safety_factor = prof->number_or("safety_factor", 1.25);
-      s->profiler_ = std::make_unique<profiler::OnlineProfiler>(*s->orch_,
-                                                                s->deployment_, pcfg);
-      s->profiler_->start();
+    if (const auto* prof = ini.first_of_kind("profiler")) {
+      if (prof->flag_or("enabled", false)) {
+        profiler::ProfilerConfig pcfg;
+        pcfg.sample_interval = sim::seconds_f(prof->number_or("sample_interval_s", 10));
+        pcfg.safety_factor = prof->number_or("safety_factor", 1.25);
+        s->profiler_ = std::make_unique<profiler::OnlineProfiler>(*s->orch_,
+                                                                  s->deployment_, pcfg);
+        s->profiler_->start();
+      }
     }
   }
 
@@ -507,7 +571,9 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(
   }
 
   // ---- Workload ----
-  if (is_conference) {
+  if (serving) {
+    // The churn schedule IS the workload; [workload] sections are ignored.
+  } else if (is_conference) {
     workload::VideoConferenceConfig cfg;
     for (const auto& [node, count] : conference_groups) {
       cfg.groups.push_back({node, count});
@@ -547,12 +613,15 @@ RunReport Scenario::run() {
   const sim::Time t0 = sim_.now();
   if (requests_) requests_->start();
   if (conference_) conference_->start();
+  if (serving_) serving_->start();
   sim_.run_until(t0 + duration_);
   if (requests_) requests_->stop();
   if (conference_) conference_->stop();
   if (profiler_) profiler_->stop();
-  // Drain in-flight work.
+  // Drain in-flight work. The serving loop stays live through the drain so
+  // in-flight admissions/migrations resolve before live_at_end is counted.
   sim_.run_until(t0 + duration_ + sim::minutes(2));
+  if (serving_) serving_->stop();
   if (monitor_) monitor_->stop();
 
   if (requests_) {
@@ -571,6 +640,20 @@ RunReport Scenario::run() {
             conference_->median_bitrate(*node, sim::seconds(10));
       }
     }
+  }
+  if (serving_) {
+    report.served = true;
+    const ServeStats& ss = serving_->stats();
+    const core::AdmissionStats& as = serving_->admission_stats();
+    report.serve_arrivals = ss.arrivals;
+    report.serve_departures = ss.departures;
+    report.serve_admitted = as.admitted;
+    report.serve_rejected = as.rejected;
+    report.serve_deferred = as.deferred;
+    report.serve_cancelled = as.cancelled;
+    report.serve_peak_queue_depth = as.peak_depth;
+    report.serve_live_at_end = ss.live_at_end;
+    report.serve_rebalance_moves = ss.rebalance_moves;
   }
   report.migrations = orch_->migration_events().size();
   if (monitor_) report.probe_bytes = monitor_->probe_bytes_sent();

@@ -27,6 +27,21 @@
 //                           client = alpha    max_in_flight = 0   seed = 1
 //   [run]                   duration_s = 600  dot = placement.dot
 //
+// Serving scenarios ([serve] present) replace the one-shot app + workload
+// with the bassd control-plane loop: no [component]/[edge] sections; apps
+// arrive and depart continuously per the churn schedule (DESIGN.md §10):
+//
+//   [serve]                 mode = adaptive   # static | adaptive | dynamic
+//                           seed = 1          arrival_per_min = 2
+//                           mean_lifetime_s = 300 resource_scale = 0.25
+//                           diurnal_amplitude = 0 diurnal_period_s = 1440
+//                           policy = fifo     # fifo | reject | defer
+//                           retry_s = 30      max_retries = 5
+//                           camera_weight = 1 conference_weight = 1
+//                           social_weight = 1 rebalance_interval_s = 120
+//                           rebalance_max_moves = 1
+//                           rebalance_cpu_threshold = 0.85
+//
 // Fault injection (all sections optional; see src/fault/ and DESIGN.md):
 //
 //   [fault node_crash alpha]   at_s = 120  detection_delay_s = 10
@@ -65,6 +80,7 @@
 #include "obs/flight.h"
 #include "obs/recorder.h"
 #include "profiler/online_profiler.h"
+#include "scenario/serving.h"
 #include "trace/player.h"
 #include "util/expected.h"
 #include "util/ini.h"
@@ -89,6 +105,17 @@ struct RunReport {
   // Fault subsystem (0 when no faults / checker configured):
   int faults_injected = 0;
   int invariant_violations = 0;
+  // Serving scenarios ([serve] section): churn + admission accounting.
+  bool served = false;
+  std::int64_t serve_arrivals = 0;
+  std::int64_t serve_departures = 0;
+  std::int64_t serve_admitted = 0;
+  std::int64_t serve_rejected = 0;
+  std::int64_t serve_deferred = 0;
+  std::int64_t serve_cancelled = 0;
+  int serve_peak_queue_depth = 0;
+  int serve_live_at_end = 0;
+  std::int64_t serve_rebalance_moves = 0;
 };
 
 // Immutable, pre-parsed scenario inputs that many runs share read-only
@@ -142,8 +169,12 @@ class Scenario {
   // with recorder().journal().write_jsonl(...) / write_trace(...) and
   // recorder().metrics().write_json(...) — bassctl run does exactly that.
   obs::Recorder& recorder() { return *recorder_; }
+  // Invalid in serving scenarios, which have no single one-shot app: check
+  // deployment() != core::kInvalidDeployment (or serving() != nullptr).
   const app::AppGraph& app() const { return orch_->app(deployment_); }
   core::DeploymentId deployment() const { return deployment_; }
+  // Null unless the ini has a [serve] section.
+  ServingLoop* serving() { return serving_.get(); }
   net::NodeId node_id(const std::string& name) const;
   std::string node_name(net::NodeId id) const;
   // Null unless the scenario configured faults / the checker (the checker
@@ -173,6 +204,7 @@ class Scenario {
   std::unique_ptr<profiler::OnlineProfiler> profiler_;
   std::unique_ptr<workload::RequestEngine> requests_;
   std::unique_ptr<workload::VideoConferenceEngine> conference_;
+  std::unique_ptr<ServingLoop> serving_;
   core::DeploymentId deployment_ = core::kInvalidDeployment;
   std::map<std::string, net::NodeId> nodes_by_name_;
   sim::Duration duration_ = sim::minutes(10);

@@ -8,15 +8,20 @@ namespace bass::sim {
 EventId EventQueue::push(Time at, std::function<void()> fn) {
   const EventId id = next_id_++;
   heap_.push(Entry{at, id, std::move(fn)});
+  live_.insert(id);
   ++live_count_;
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) return false;
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted && live_count_ > 0) --live_count_;
-  return inserted;
+  // Only ids with a pending heap entry are cancellable; anything else (never
+  // issued, already fired, already cancelled) would leave a tombstone that
+  // skip_cancelled() can never match, growing cancelled_ without bound under
+  // long-running churn.
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
 }
 
 void EventQueue::skip_cancelled() {
@@ -40,6 +45,7 @@ Time EventQueue::pop_and_run() {
   // Move the callback out before popping so the entry can be released.
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
+  live_.erase(entry.id);
   --live_count_;
   entry.fn();
   return entry.at;

@@ -28,6 +28,12 @@ class EventQueue {
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
 
+  // Cancelled entries still sitting in the heap awaiting lazy removal.
+  // Bounded by the number of pending events: cancel() only accepts ids that
+  // are live, so every tombstone is guaranteed to be compacted when its heap
+  // entry reaches the top (regression coverage in tests/sim_test.cpp).
+  std::size_t cancelled_backlog() const { return cancelled_.size(); }
+
   // Timestamp of the next live event; only valid when !empty().
   Time next_time();
 
@@ -51,6 +57,11 @@ class EventQueue {
   void skip_cancelled();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids of heap entries not yet popped or cancelled. Membership gates
+  // cancel(): cancelling an id that already fired (or was never issued) is a
+  // no-op instead of planting an uncollectable tombstone and corrupting
+  // live_count_.
+  std::unordered_set<EventId> live_;
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;

@@ -41,6 +41,9 @@ class Simulation {
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
+  // Lazily-cancelled entries awaiting heap compaction; bounded by
+  // pending_events() (see EventQueue::cancelled_backlog).
+  std::size_t cancelled_backlog() const { return queue_.cancelled_backlog(); }
 
  private:
   struct Periodic {

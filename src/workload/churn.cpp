@@ -1,0 +1,241 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "app/catalog.h"
+#include "util/strings.h"
+
+namespace bass::workload {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Scaled copy of a catalog graph under a churn-instance name. Zero-resource
+// pinned pseudo-components (conference client groups) pass through
+// untouched; everything else keeps a floor so scaling never produces a
+// zero-demand pod the packer would place for free.
+app::AppGraph scaled_copy(const app::AppGraph& base, const std::string& name,
+                          double scale) {
+  app::AppGraph g(name);
+  for (app::ComponentId c = 0; c < base.component_count(); ++c) {
+    app::Component comp = base.component(c);
+    if (comp.cpu_milli > 0 || comp.memory_mb > 0) {
+      comp.cpu_milli = std::max<std::int64_t>(
+          50, static_cast<std::int64_t>(static_cast<double>(comp.cpu_milli) * scale));
+      comp.memory_mb = std::max<std::int64_t>(
+          16, static_cast<std::int64_t>(static_cast<double>(comp.memory_mb) * scale));
+    }
+    g.add_component(std::move(comp));
+  }
+  for (app::Edge e : base.edges()) {
+    e.bandwidth = std::max<net::Bps>(
+        net::kbps(50),
+        static_cast<net::Bps>(static_cast<double>(e.bandwidth) * scale));
+    g.add_dependency(e);
+  }
+  return g;
+}
+
+}  // namespace
+
+const char* app_family_name(AppFamily family) {
+  switch (family) {
+    case AppFamily::kCameraPipeline: return "camera";
+    case AppFamily::kVideoConference: return "conference";
+    case AppFamily::kSocialNetwork: return "social";
+  }
+  return "?";
+}
+
+std::vector<ChurnEvent> build_churn_schedule(const ChurnConfig& config) {
+  std::vector<ChurnEvent> events;
+  const double per_us = config.arrival_per_min / static_cast<double>(sim::kMinute);
+  if (per_us <= 0.0 || config.duration <= 0) return events;
+  const double amplitude = std::clamp(config.diurnal_amplitude, 0.0, 0.95);
+  const double peak_per_us = per_us * (1.0 + amplitude);
+
+  // Family CDF from the (clamped) weights.
+  double weights[kAppFamilyCount] = {std::max(config.camera_weight, 0.0),
+                                     std::max(config.conference_weight, 0.0),
+                                     std::max(config.social_weight, 0.0)};
+  double total_weight = weights[0] + weights[1] + weights[2];
+  if (total_weight <= 0.0) {
+    weights[0] = total_weight = 1.0;  // degenerate mix: all camera
+  }
+
+  util::Rng rng(config.seed);
+  double t = 0.0;  // microseconds, double to avoid quantized thinning bias
+  int instance = 0;
+  int seq = 0;
+  while (true) {
+    // Thinning for the non-homogeneous rate: candidate arrivals come at the
+    // peak rate, each kept with probability rate(t)/peak — a fixed two
+    // draws per candidate, so the stream of rng consumption (and thus the
+    // schedule) is a pure function of the config.
+    t += rng.exponential(1.0 / peak_per_us);
+    const double keep = rng.uniform(0.0, 1.0);
+    if (t >= static_cast<double>(config.duration)) break;
+    const double phase =
+        2.0 * kPi * t / static_cast<double>(std::max<sim::Duration>(config.diurnal_period, 1));
+    const double rate_frac = (1.0 + amplitude * std::sin(phase)) / (1.0 + amplitude);
+    if (keep >= rate_frac) continue;
+
+    const double pick = rng.uniform(0.0, total_weight);
+    AppFamily family = AppFamily::kSocialNetwork;
+    if (pick < weights[0]) {
+      family = AppFamily::kCameraPipeline;
+    } else if (pick < weights[0] + weights[1]) {
+      family = AppFamily::kVideoConference;
+    }
+    const double lifetime =
+        rng.exponential(static_cast<double>(std::max<sim::Duration>(config.mean_lifetime, 1)));
+
+    const sim::Time arrive_at = static_cast<sim::Time>(t);
+    events.push_back({arrive_at, false, instance, family});
+    ++seq;
+    const double depart_t = t + lifetime;
+    if (depart_t < static_cast<double>(config.duration)) {
+      events.push_back({static_cast<sim::Time>(depart_t), true, instance, family});
+      ++seq;
+    }
+    ++instance;
+  }
+  (void)seq;
+  // Departures interleave with later arrivals; order by time with the
+  // generation sequence as the deterministic tiebreak (arrivals were pushed
+  // before their departures, and stable_sort preserves that on ties).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) { return a.at < b.at; });
+  return events;
+}
+
+app::AppGraph make_churn_app(AppFamily family, int instance,
+                             double resource_scale, std::uint64_t seed,
+                             const std::vector<net::NodeId>& mesh_nodes) {
+  const std::string name =
+      util::str_format("%s#%d", app_family_name(family), instance);
+  switch (family) {
+    case AppFamily::kCameraPipeline:
+      return scaled_copy(app::camera_pipeline_app(), name, resource_scale);
+    case AppFamily::kSocialNetwork:
+      // profile_scale already scales the social app's edge bandwidths; the
+      // cpu/memory scaling comes from scaled_copy (bandwidth is re-scaled
+      // from the already-reduced profile, floored at 50 kbps).
+      return scaled_copy(app::social_network_app(1.0), name, resource_scale);
+    case AppFamily::kVideoConference: {
+      // Client groups land on per-instance deterministic nodes: a small
+      // conference between two or three mesh locations.
+      assert(!mesh_nodes.empty());
+      util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(instance + 1)));
+      const int groups = mesh_nodes.size() >= 3 && rng.chance(0.5) ? 3 : 2;
+      std::vector<net::NodeId> nodes = mesh_nodes;
+      // Partial Fisher–Yates for the first `groups` picks.
+      for (int i = 0; i < groups && i < static_cast<int>(nodes.size()); ++i) {
+        const auto j = static_cast<std::size_t>(rng.uniform_int(
+            i, static_cast<std::int64_t>(nodes.size()) - 1));
+        std::swap(nodes[static_cast<std::size_t>(i)], nodes[j]);
+      }
+      std::vector<std::pair<net::NodeId, int>> clients;
+      for (int i = 0; i < groups && i < static_cast<int>(nodes.size()); ++i) {
+        clients.emplace_back(nodes[static_cast<std::size_t>(i)],
+                             static_cast<int>(rng.uniform_int(1, 3)));
+      }
+      const auto per_stream = static_cast<net::Bps>(
+          std::max(25.0, 250.0 * resource_scale) * 1e3);
+      return scaled_copy(app::video_conference_app(clients, per_stream), name,
+                         resource_scale);
+    }
+  }
+  return app::AppGraph(name);
+}
+
+ChurnTrafficEngine::ChurnTrafficEngine(core::Orchestrator& orchestrator,
+                                       core::DeploymentId deployment,
+                                       sim::Duration sample_interval)
+    : orch_(&orchestrator),
+      deployment_(deployment),
+      sample_interval_(sample_interval) {}
+
+ChurnTrafficEngine::~ChurnTrafficEngine() { stop(); }
+
+void ChurnTrafficEngine::start() {
+  if (running_) return;
+  running_ = true;
+  const app::AppGraph& graph = orch_->app(deployment_);
+  for (const app::Edge& e : graph.edges()) {
+    Flow flow;
+    flow.from = e.from;
+    flow.to = e.to;
+    flow.demand = e.bandwidth;
+    flows_.push_back(flow);
+  }
+  orch_->add_listener(deployment_, this);
+  for (Flow& flow : flows_) open(flow);
+  sampler_ = orch_->simulation().schedule_periodic(sample_interval_,
+                                                   [this] { sample(); });
+}
+
+void ChurnTrafficEngine::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (Flow& flow : flows_) close(flow);
+  if (sampler_ != sim::kInvalidEvent) {
+    orch_->simulation().cancel_periodic(sampler_);
+    sampler_ = sim::kInvalidEvent;
+  }
+}
+
+void ChurnTrafficEngine::open(Flow& flow) {
+  if (flow.connected) return;
+  if (!orch_->is_up(deployment_, flow.from) || !orch_->is_up(deployment_, flow.to)) {
+    return;
+  }
+  flow.stream = orch_->network().open_stream(orch_->node_of(deployment_, flow.from),
+                                             orch_->node_of(deployment_, flow.to),
+                                             flow.demand);
+  flow.connected = true;
+}
+
+void ChurnTrafficEngine::close(Flow& flow) {
+  if (!flow.connected) return;
+  orch_->network().close_stream(flow.stream);
+  flow.connected = false;
+}
+
+void ChurnTrafficEngine::sample() {
+  if (!running_) return;
+  const double dt = sim::to_seconds(sample_interval_);
+  monitor::TrafficStats& stats = orch_->traffic_stats(deployment_);
+  for (const Flow& flow : flows_) {
+    if (!flow.connected) continue;
+    const double rate = static_cast<double>(orch_->network().stream_rate(flow.stream));
+    stats.record(flow.from, flow.to, static_cast<std::int64_t>(rate * dt / 8.0));
+    stats.record_offered(flow.from, flow.to,
+                         static_cast<std::int64_t>(
+                             static_cast<double>(flow.demand) * dt / 8.0));
+  }
+}
+
+void ChurnTrafficEngine::on_component_down(app::ComponentId component) {
+  for (Flow& flow : flows_) {
+    if (flow.from == component || flow.to == component) close(flow);
+  }
+}
+
+void ChurnTrafficEngine::on_component_up(app::ComponentId component, net::NodeId node) {
+  (void)node;
+  if (!running_) return;
+  for (Flow& flow : flows_) {
+    if (flow.from != component && flow.to != component) continue;
+    // Reopen at the component's new node (close is a no-op if the outage
+    // already closed it).
+    close(flow);
+    open(flow);
+  }
+}
+
+}  // namespace bass::workload

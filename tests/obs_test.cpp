@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -153,6 +154,82 @@ TEST(Metrics, HistogramPercentileAtBucketBoundary) {
   Histogram& low = reg.histogram("low_ms", {1.0, 10.0});
   low.observe(0.25);
   EXPECT_DOUBLE_EQ(low.percentile(0.5), 0.25);
+}
+
+TEST(Metrics, EmptyHistogramExtremesAreNaN) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("empty_ms", {1.0, 10.0});
+  EXPECT_TRUE(h.empty());
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  LogHistogram lh;
+  EXPECT_TRUE(lh.empty());
+  EXPECT_TRUE(std::isnan(lh.min()));
+  EXPECT_TRUE(std::isnan(lh.max()));
+  // One observation resolves both to the sample, even a literal 0.0 — the
+  // ambiguity the NaN sentinel exists to remove.
+  h.observe(0.0);
+  lh.observe(0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(lh.min(), 0.0);
+  EXPECT_DOUBLE_EQ(lh.max(), 0.0);
+}
+
+TEST(Metrics, HistogramMergeEmptySideIsIdentityBothOrders) {
+  MetricsRegistry reg;
+  // Non-empty <- empty: nothing changes.
+  Histogram& a = reg.histogram("a_ms", {1.0, 10.0, 100.0});
+  a.observe(5.0);
+  a.observe(50.0);
+  Histogram& empty = reg.histogram("e_ms", {1.0, 10.0, 100.0});
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 50.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 55.0);
+  EXPECT_EQ(a.bucket_counts(), (std::vector<std::int64_t>{0, 1, 1, 0}));
+
+  // Empty <- non-empty: adopts the source exactly; the empty side's 0.0
+  // min/max sentinels must not leak in as fabricated extremes.
+  Histogram& b = reg.histogram("b_ms", {1.0, 10.0, 100.0});
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.min(), 5.0);
+  EXPECT_DOUBLE_EQ(b.max(), 50.0);
+  EXPECT_DOUBLE_EQ(b.sum(), 55.0);
+  EXPECT_EQ(b.bucket_counts(), a.bucket_counts());
+
+  // Empty <- empty stays empty (and NaN-extremed).
+  Histogram& c = reg.histogram("c_ms", {1.0, 10.0, 100.0});
+  Histogram& d = reg.histogram("d_ms", {1.0, 10.0, 100.0});
+  c.merge(d);
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(std::isnan(c.min()));
+}
+
+TEST(Metrics, LogHistogramMergeEmptySideIsIdentityBothOrders) {
+  LogHistogram a;
+  a.observe(5.0);
+  a.observe(50.0);
+  LogHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 50.0);
+
+  LogHistogram b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.min(), 5.0);
+  EXPECT_DOUBLE_EQ(b.max(), 50.0);
+  EXPECT_DOUBLE_EQ(b.sum(), a.sum());
+
+  LogHistogram c, d;
+  c.merge(d);
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(std::isnan(c.min()));
+  EXPECT_TRUE(std::isnan(c.max()));
 }
 
 TEST(Metrics, LogHistogramBucketMath) {

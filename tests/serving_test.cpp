@@ -1,0 +1,446 @@
+// The bassd serving loop stack: churn schedule generation, admission
+// policies under overload, undeploy accounting, and end-to-end serving
+// scenario determinism (same seed => byte-identical journal).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/admission.h"
+#include "scenario/scenario.h"
+#include "workload/churn.h"
+
+namespace bass {
+namespace {
+
+// ---- Churn schedule ----
+
+workload::ChurnConfig small_churn(std::uint64_t seed) {
+  workload::ChurnConfig cfg;
+  cfg.seed = seed;
+  cfg.arrival_per_min = 4.0;
+  cfg.mean_lifetime = sim::minutes(3);
+  cfg.duration = sim::minutes(20);
+  return cfg;
+}
+
+TEST(ChurnSchedule, SameSeedIsByteIdentical) {
+  const auto a = workload::build_churn_schedule(small_churn(42));
+  const auto b = workload::build_churn_schedule(small_churn(42));
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].depart, b[i].depart);
+    EXPECT_EQ(a[i].instance, b[i].instance);
+    EXPECT_EQ(a[i].family, b[i].family);
+  }
+}
+
+TEST(ChurnSchedule, DifferentSeedsDiffer) {
+  const auto a = workload::build_churn_schedule(small_churn(1));
+  const auto b = workload::build_churn_schedule(small_churn(2));
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].at != b[i].at || a[i].instance != b[i].instance;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChurnSchedule, OrderedAndArrivalPrecedesDeparture) {
+  const auto events = workload::build_churn_schedule(small_churn(7));
+  ASSERT_FALSE(events.empty());
+  std::set<int> arrived;
+  sim::Time last = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.at, last);
+    EXPECT_LT(e.at, small_churn(7).duration);
+    last = e.at;
+    if (e.depart) {
+      EXPECT_TRUE(arrived.count(e.instance)) << "departure before arrival";
+    } else {
+      EXPECT_TRUE(arrived.insert(e.instance).second) << "duplicate arrival";
+    }
+  }
+}
+
+TEST(ChurnSchedule, DiurnalThinningStaysDeterministic) {
+  auto cfg = small_churn(11);
+  cfg.diurnal_amplitude = 0.6;
+  cfg.diurnal_period = sim::minutes(10);
+  const auto a = workload::build_churn_schedule(cfg);
+  const auto b = workload::build_churn_schedule(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].at, b[i].at);
+  // Amplitude only thins; the zero-amplitude schedule at the same seed is a
+  // superset in expectation, and thinning must not inflate the count.
+  auto flat = cfg;
+  flat.diurnal_amplitude = 0.0;
+  EXPECT_LE(a.size(), workload::build_churn_schedule(flat).size() * 2);
+}
+
+TEST(ChurnApp, InstanceNamesAndScaling) {
+  const std::vector<net::NodeId> mesh = {0, 1, 2};
+  const auto quarter = workload::make_churn_app(
+      workload::AppFamily::kCameraPipeline, 3, 0.25, 1, mesh);
+  const auto full = workload::make_churn_app(
+      workload::AppFamily::kCameraPipeline, 4, 1.0, 1, mesh);
+  EXPECT_EQ(quarter.name(), "camera#3");
+  EXPECT_EQ(full.name(), "camera#4");
+  EXPECT_EQ(quarter.component_count(), full.component_count());
+  EXPECT_LT(quarter.total_cpu_milli(), full.total_cpu_milli());
+  EXPECT_LT(quarter.total_bandwidth(), full.total_bandwidth());
+  std::string why;
+  EXPECT_TRUE(quarter.validate(&why)) << why;
+}
+
+TEST(ChurnApp, ConferencePinsAreDeterministicPerInstance) {
+  const std::vector<net::NodeId> mesh = {0, 1, 2, 3};
+  const auto a = workload::make_churn_app(workload::AppFamily::kVideoConference,
+                                          5, 0.5, 9, mesh);
+  const auto b = workload::make_churn_app(workload::AppFamily::kVideoConference,
+                                          5, 0.5, 9, mesh);
+  ASSERT_EQ(a.component_count(), b.component_count());
+  int pinned = 0;
+  for (app::ComponentId c = 0; c < a.component_count(); ++c) {
+    EXPECT_EQ(a.component(c).pinned_node, b.component(c).pinned_node);
+    if (a.component(c).pinned_node) {
+      ++pinned;
+      EXPECT_LE(*a.component(c).pinned_node, 3);
+    }
+  }
+  EXPECT_GE(pinned, 2);  // at least a two-way conference
+}
+
+// ---- Undeploy accounting & admission (shared fixture) ----
+
+struct Fixture {
+  sim::Simulation sim;
+  std::unique_ptr<net::Network> network;
+  cluster::ClusterState cluster;
+  std::unique_ptr<core::Orchestrator> orch;
+
+  // Triangle mesh, 3 modest nodes: overload is easy to provoke.
+  explicit Fixture(std::int64_t cpu_per_node = 4000) {
+    net::Topology topo;
+    for (int i = 0; i < 3; ++i) topo.add_node();
+    topo.add_link(0, 1, net::mbps(50));
+    topo.add_link(1, 2, net::mbps(50));
+    topo.add_link(0, 2, net::mbps(50));
+    network = std::make_unique<net::Network>(sim, std::move(topo));
+    for (int i = 0; i < 3; ++i) cluster.add_node(i, {cpu_per_node, 8192, true});
+    orch = std::make_unique<core::Orchestrator>(sim, *network, cluster);
+  }
+
+  std::int64_t total_cpu_used() const {
+    std::int64_t used = 0;
+    for (int n = 0; n < 3; ++n) used += cluster.usage(n).cpu_milli;
+    return used;
+  }
+  std::int64_t total_mem_used() const {
+    std::int64_t used = 0;
+    for (int n = 0; n < 3; ++n) used += cluster.usage(n).memory_mb;
+    return used;
+  }
+};
+
+app::AppGraph one_pod(const std::string& name, std::int64_t cpu) {
+  app::AppGraph g(name);
+  g.add_component({.name = "pod", .cpu_milli = cpu, .memory_mb = 256});
+  return g;
+}
+
+TEST(Undeploy, AccountingRoundTripsToZero) {
+  Fixture f(16000);  // roomy: four quarter-scale catalog apps must all fit
+  const std::vector<net::NodeId> mesh = {0, 1, 2};
+  std::vector<core::DeploymentId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto app = workload::make_churn_app(
+        i % 2 == 0 ? workload::AppFamily::kCameraPipeline
+                   : workload::AppFamily::kSocialNetwork,
+        i, 0.25, 1, mesh);
+    auto id = f.orch->deploy(std::move(app), core::SchedulerKind::kBassBfs,
+                             "inst" + std::to_string(i));
+    ASSERT_TRUE(id.ok()) << id.error();
+    ids.push_back(id.value());
+  }
+  EXPECT_GT(f.total_cpu_used(), 0);
+  EXPECT_EQ(f.orch->live_deployment_count(), 4);
+
+  for (const auto id : ids) EXPECT_TRUE(f.orch->undeploy(id));
+  EXPECT_EQ(f.total_cpu_used(), 0);
+  EXPECT_EQ(f.total_mem_used(), 0);
+  EXPECT_EQ(f.orch->live_deployment_count(), 0);
+  // Second undeploy is rejected, not double-released.
+  EXPECT_FALSE(f.orch->undeploy(ids[0]));
+  EXPECT_EQ(f.total_cpu_used(), 0);
+}
+
+TEST(Undeploy, CancelsInFlightMigrationBringUp) {
+  Fixture f(12000);
+  app::AppGraph g("mover");
+  g.add_component({.name = "a", .cpu_milli = 1000, .memory_mb = 128});
+  g.add_component({.name = "b", .cpu_milli = 1000, .memory_mb = 128});
+  g.add_dependency({.from = 0, .to = 1, .bandwidth = net::mbps(4)});
+  const auto id = f.orch->deploy(std::move(g), core::SchedulerKind::kBassBfs).take();
+  const net::NodeId before = f.orch->node_of(id, 0);
+  ASSERT_TRUE(f.orch->migrate(id, 0, (before + 1) % 3));
+  // Undeploy while the restart is in flight: the pending bring-up must not
+  // resurrect the component or leak an allocation.
+  EXPECT_TRUE(f.orch->undeploy(id));
+  f.sim.run_until(sim::minutes(2));
+  EXPECT_EQ(f.total_cpu_used(), 0);
+  EXPECT_FALSE(f.orch->deployment_active(id));
+}
+
+TEST(Undeploy, FreesNameForRedeployment) {
+  Fixture f;
+  const auto first =
+      f.orch->deploy(one_pod("svc", 1000), core::SchedulerKind::kBassBfs, "svc");
+  ASSERT_TRUE(first.ok());
+  // Duplicate while active: rejected.
+  EXPECT_FALSE(
+      f.orch->deploy(one_pod("svc", 1000), core::SchedulerKind::kBassBfs, "svc").ok());
+  EXPECT_TRUE(f.orch->undeploy(first.value()));
+  // After undeploy the instance name is free again, with a fresh id.
+  const auto second =
+      f.orch->deploy(one_pod("svc", 1000), core::SchedulerKind::kBassBfs, "svc");
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second.value(), first.value());
+}
+
+TEST(Undeploy, LifecycleWarningsAreJournaled) {
+  Fixture f;
+  obs::Recorder recorder{obs::RecorderConfig{}};
+  f.orch->set_recorder(&recorder);
+  const auto id =
+      f.orch->deploy(one_pod("svc", 1000), core::SchedulerKind::kBassBfs, "svc");
+  ASSERT_TRUE(id.ok());
+  // Each abuse journals a typed warning instead of corrupting state.
+  EXPECT_FALSE(
+      f.orch->deploy(one_pod("svc", 1000), core::SchedulerKind::kBassBfs, "svc").ok());
+  f.orch->fail_node(2);
+  f.orch->fail_node(2);  // double-fail: idempotent no-op + warning
+  EXPECT_EQ(f.orch->failed_nodes().size(), 1u);
+  EXPECT_TRUE(f.orch->undeploy(id.value()));
+  EXPECT_FALSE(f.orch->undeploy(id.value()));
+  const std::string journal = recorder.journal().to_jsonl();
+  EXPECT_NE(journal.find("duplicate_deployment"), std::string::npos);
+  EXPECT_NE(journal.find("node_already_failed"), std::string::npos);
+  EXPECT_NE(journal.find("undeploy_inactive"), std::string::npos);
+  EXPECT_NE(journal.find("deployment_closed"), std::string::npos);
+}
+
+// ---- Admission policies under overload ----
+
+struct Decision {
+  int instance;
+  bool admitted;
+};
+
+TEST(Admission, FifoBlocksHeadOfLineAndNeverRejects) {
+  // 4200 per node: three 4000-mcpu pods leave 200 free on each node, so the
+  // 100-mcpu pod WOULD fit — fifo must still hold it behind the blocked head.
+  Fixture f(4200);
+  core::AdmissionConfig cfg;
+  cfg.policy = core::AdmissionPolicy::kFifo;
+  cfg.retry_interval = sim::seconds(10);
+  core::AdmissionQueue q(f.sim, *f.orch, cfg);
+  std::vector<Decision> decisions;
+  const auto on_decision = [&](int instance, core::DeploymentId, bool admitted) {
+    decisions.push_back({instance, admitted});
+  };
+  // Three 4000-mcpu pods fill the mesh; the fourth blocks, and the smaller
+  // fifth must NOT overtake it (strict arrival order).
+  for (int i = 0; i < 4; ++i) {
+    q.submit(i, "big" + std::to_string(i), one_pod("big" + std::to_string(i), 4000),
+             core::SchedulerKind::kBassBfs, on_decision);
+  }
+  q.submit(4, "small", one_pod("small", 100), core::SchedulerKind::kBassBfs,
+           on_decision);
+  EXPECT_EQ(decisions.size(), 3u);
+  EXPECT_EQ(q.depth(), 2);
+  f.sim.run_until(sim::minutes(5));
+  EXPECT_EQ(decisions.size(), 3u);  // still blocked, still nothing rejected
+  EXPECT_EQ(q.stats().rejected, 0);
+
+  // Freeing capacity admits the head, then the small one behind it.
+  ASSERT_TRUE(f.orch->undeploy(0));
+  q.kick();
+  ASSERT_EQ(decisions.size(), 5u);
+  EXPECT_EQ(decisions[3].instance, 3);
+  EXPECT_TRUE(decisions[3].admitted);
+  EXPECT_EQ(decisions[4].instance, 4);
+  EXPECT_TRUE(decisions[4].admitted);
+  EXPECT_EQ(q.depth(), 0);
+}
+
+TEST(Admission, RejectResolvesAtTheDoorWithZeroDepth) {
+  Fixture f;
+  core::AdmissionConfig cfg;
+  cfg.policy = core::AdmissionPolicy::kRejectOnPressure;
+  core::AdmissionQueue q(f.sim, *f.orch, cfg);
+  std::vector<Decision> decisions;
+  for (int i = 0; i < 5; ++i) {
+    q.submit(i, "p" + std::to_string(i), one_pod("p" + std::to_string(i), 4000),
+             core::SchedulerKind::kBassBfs,
+             [&](int instance, core::DeploymentId, bool admitted) {
+               decisions.push_back({instance, admitted});
+             });
+    EXPECT_EQ(q.depth(), 0);  // reject never queues
+  }
+  ASSERT_EQ(decisions.size(), 5u);
+  EXPECT_TRUE(decisions[0].admitted);
+  EXPECT_TRUE(decisions[1].admitted);
+  EXPECT_TRUE(decisions[2].admitted);
+  EXPECT_FALSE(decisions[3].admitted);
+  EXPECT_FALSE(decisions[4].admitted);
+  EXPECT_EQ(q.stats().rejected, 2);
+}
+
+TEST(Admission, DeferAllowsOvertakingAndBoundsRetries) {
+  Fixture f(4200);  // 200 free per node: small fits, huge never does
+  core::AdmissionConfig cfg;
+  cfg.policy = core::AdmissionPolicy::kDeferRetry;
+  cfg.retry_interval = sim::seconds(10);
+  cfg.max_retries = 3;
+  core::AdmissionQueue q(f.sim, *f.orch, cfg);
+  std::vector<Decision> decisions;
+  const auto on_decision = [&](int instance, core::DeploymentId, bool admitted) {
+    decisions.push_back({instance, admitted});
+  };
+  for (int i = 0; i < 3; ++i) {
+    q.submit(i, "big" + std::to_string(i), one_pod("big" + std::to_string(i), 4000),
+             core::SchedulerKind::kBassBfs, on_decision);
+  }
+  // Mesh is full. A too-big pod defers; a small one behind it overtakes.
+  q.submit(3, "huge", one_pod("huge", 4000), core::SchedulerKind::kBassBfs,
+           on_decision);
+  q.submit(4, "small", one_pod("small", 100), core::SchedulerKind::kBassBfs,
+           on_decision);
+  ASSERT_EQ(decisions.size(), 4u);
+  EXPECT_EQ(decisions[3].instance, 4);  // small overtook the stuck huge pod
+  EXPECT_TRUE(decisions[3].admitted);
+
+  // The stuck pod retries max_retries times, then is rejected — the queue
+  // drains instead of growing forever.
+  f.sim.run_until(sim::minutes(5));
+  ASSERT_EQ(decisions.size(), 5u);
+  EXPECT_EQ(decisions[4].instance, 3);
+  EXPECT_FALSE(decisions[4].admitted);
+  EXPECT_EQ(q.depth(), 0);
+  EXPECT_GE(q.stats().deferred, 1);
+}
+
+TEST(Admission, CancelDropsQueuedRequest) {
+  Fixture f;
+  core::AdmissionConfig cfg;
+  cfg.policy = core::AdmissionPolicy::kFifo;
+  core::AdmissionQueue q(f.sim, *f.orch, cfg);
+  int decided = 0;
+  q.submit(0, "a", one_pod("a", 4000), core::SchedulerKind::kBassBfs,
+           [&](int, core::DeploymentId, bool) { ++decided; });
+  q.submit(1, "b", one_pod("b", 9000), core::SchedulerKind::kBassBfs,
+           [&](int, core::DeploymentId, bool) { ++decided; });
+  EXPECT_EQ(q.depth(), 1);
+  EXPECT_TRUE(q.cancel(1));
+  EXPECT_FALSE(q.cancel(1));  // already gone
+  EXPECT_EQ(q.depth(), 0);
+  EXPECT_EQ(q.stats().cancelled, 1);
+  EXPECT_EQ(decided, 1);  // cancelled requests never get a decision
+}
+
+// ---- End-to-end serving scenario ----
+
+constexpr const char* kServeIni = R"(
+[node a]
+cpu = 4000
+memory_mb = 4096
+[node b]
+cpu = 4000
+memory_mb = 4096
+[node c]
+cpu = 4000
+memory_mb = 4096
+[link a b]
+capacity_mbps = 20
+[link b c]
+capacity_mbps = 16
+[link a c]
+capacity_mbps = 12
+[serve]
+mode = adaptive
+seed = 5
+arrival_per_min = 3
+mean_lifetime_s = 120
+resource_scale = 0.25
+policy = fifo
+retry_s = 15
+[run]
+duration_s = 600
+)";
+
+std::unique_ptr<scenario::Scenario> build_serve(const std::string& text) {
+  const auto ini = util::parse_ini(text);
+  EXPECT_TRUE(ini.ok()) << (ini.ok() ? "" : ini.error());
+  auto s = scenario::Scenario::from_ini(ini.value());
+  EXPECT_TRUE(s.ok()) << (s.ok() ? "" : s.error());
+  return s.ok() ? std::move(s.value()) : nullptr;
+}
+
+TEST(ServingScenario, ChurnRunsCleanAndBalancesTheBooks) {
+  auto s = build_serve(kServeIni);
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(s->serving(), nullptr);
+  EXPECT_EQ(s->deployment(), core::kInvalidDeployment);  // no one-shot app
+  const auto report = s->run();
+  EXPECT_TRUE(report.served);
+  EXPECT_GT(report.serve_arrivals, 0);
+  EXPECT_GT(report.serve_admitted, 0);
+  EXPECT_EQ(report.invariant_violations, 0);
+  // Every arrival resolves exactly one way: admitted, rejected, or
+  // cancelled-while-queued — minus whatever is still waiting at the end.
+  EXPECT_EQ(report.serve_admitted + report.serve_rejected + report.serve_cancelled +
+                s->serving()->queue_depth(),
+            report.serve_arrivals);
+  // The live population is exactly admitted minus undeployed.
+  EXPECT_EQ(s->orchestrator().live_deployment_count(), report.serve_live_at_end);
+}
+
+TEST(ServingScenario, SameSeedGivesByteIdenticalJournal) {
+  auto a = build_serve(kServeIni);
+  auto b = build_serve(kServeIni);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  a->run();
+  b->run();
+  const std::string ja = a->recorder().journal().to_jsonl();
+  const std::string jb = b->recorder().journal().to_jsonl();
+  ASSERT_FALSE(ja.empty());
+  EXPECT_EQ(ja, jb);
+}
+
+TEST(ServingScenario, DifferentSeedDiverges) {
+  auto a = build_serve(kServeIni);
+  std::string other(kServeIni);
+  other.replace(other.find("seed = 5"), 8, "seed = 6");
+  auto b = build_serve(other);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  a->run();
+  b->run();
+  EXPECT_NE(a->recorder().journal().to_jsonl(), b->recorder().journal().to_jsonl());
+}
+
+TEST(ServingScenario, StaticModeNeverMigrates) {
+  std::string text(kServeIni);
+  text.replace(text.find("mode = adaptive"), 15, "mode = static  ");
+  auto s = build_serve(text);
+  ASSERT_NE(s, nullptr);
+  const auto report = s->run();
+  EXPECT_EQ(report.migrations, 0u);
+  EXPECT_EQ(report.invariant_violations, 0);
+}
+
+}  // namespace
+}  // namespace bass

@@ -178,6 +178,56 @@ TEST(Simulation, PendingEventsCountsLiveOnly) {
   EXPECT_TRUE(sim.idle());
 }
 
+TEST(EventQueue, CancelAfterFireIsRejectedAndLeavesNoTombstone) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(seconds(1), [] {});
+  sim.run_all();
+  // The event already fired: cancelling it must fail, must not disturb the
+  // live count, and must not leave an uncollectable tombstone behind.
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_backlog(), 0u);
+  sim.schedule_at(seconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_all();
+  EXPECT_TRUE(sim.idle());
+}
+
+// Regression for the unbounded-tombstone leak: one million cancel-heavy
+// events, including a large fraction of bogus cancels aimed at ids that have
+// already fired. The cancelled set must stay bounded by the pending-event
+// window, not grow with the total number of cancels issued.
+TEST(EventQueue, TombstoneBacklogStaysBoundedOverCancelHeavyChurn) {
+  Simulation sim;
+  std::mt19937_64 rng(7);
+  constexpr int kEvents = 1'000'000;
+  constexpr std::size_t kWindow = 64;  // max events in flight at once
+  std::vector<EventId> window;
+  std::size_t peak_backlog = 0;
+  int fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    const Time at = sim.now() + 1 + static_cast<Time>(rng() % 16);
+    window.push_back(sim.schedule_at(at, [&fired] { ++fired; }));
+    if (window.size() >= kWindow) {
+      // Cancel half the window; the other half is left to fire below, after
+      // which cancelling those ids again must be a no-op.
+      for (std::size_t j = 0; j < window.size(); j += 2) sim.cancel(window[j]);
+      sim.run_until(sim.now() + 32);
+      for (const EventId id : window) sim.cancel(id);  // mostly stale ids
+      window.clear();
+    }
+    peak_backlog = std::max(peak_backlog, sim.cancelled_backlog());
+  }
+  sim.run_all();
+  EXPECT_GT(fired, 0);
+  // Bounded by the in-flight window, never by the 1M total events or the
+  // ~1.5M cancel attempts. (A handful of trailing tombstones may outlive
+  // run_all when the final heap entries are all cancelled — still bounded.)
+  EXPECT_LE(peak_backlog, kWindow);
+  EXPECT_LE(sim.cancelled_backlog(), kWindow);
+  EXPECT_TRUE(sim.idle());
+}
+
 TEST(Simulation, PeriodicFirstFiringIsOnePeriodOut) {
   Simulation sim;
   Time first = -1;

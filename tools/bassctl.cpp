@@ -20,6 +20,19 @@
 //                                          raw JSONL queries; --span selects
 //                                          a causal span and every event it
 //                                          transitively caused
+//   bassctl serve <scenario.ini> [--duration S] [--arrival-rate R]
+//                 [--mode static|adaptive|dynamic] [--seed N]
+//                 [--policy fifo|reject|defer] [--journal out.jsonl]
+//                 [--metrics out.json] [--trace out.trace.json] [--prom out.prom]
+//                                          long-running control-plane mode:
+//                                          churn arrivals/departures through
+//                                          the admission queue; prints
+//                                          admission + decision latency
+//                                          percentiles. Flags override the
+//                                          ini's [serve]/[run] sections (a
+//                                          missing [serve] section is
+//                                          created), so any mesh-only
+//                                          scenario can serve
 //   bassctl dot <scenario.ini> [out.dot]   export the initial placement
 //   bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]
 //                 [--fades] [--seed N] [--out trace.csv]
@@ -80,6 +93,11 @@ int usage() {
                "                 [--prom out.prom]\n"
                "  bassctl journal query <journal.jsonl> [--type T] [--span N]\n"
                "                 [--since-us U] [--last N]\n"
+               "  bassctl serve <scenario.ini> [--duration S] [--arrival-rate R]\n"
+               "                [--mode static|adaptive|dynamic] [--seed N]\n"
+               "                [--policy fifo|reject|defer] [--journal out.jsonl]\n"
+               "                [--metrics out.json] [--trace out.trace.json]\n"
+               "                [--prom out.prom]\n"
                "  bassctl dot <scenario.ini> [out.dot]\n"
                "  bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]\n"
                "                [--fades] [--seed N] [--out trace.csv]\n"
@@ -140,10 +158,57 @@ int cmd_validate(const std::string& path) {
     return 1;
   }
   auto& scene = *s.value();
+  if (scene.serving() != nullptr) {
+    std::printf("OK: serving scenario on %zu nodes, %.0f s run\n",
+                static_cast<std::size_t>(scene.network().topology().node_count()),
+                sim::to_seconds(scene.duration()));
+    return 0;
+  }
   std::printf("OK: %d components on %zu nodes, %.0f s run\n",
               scene.app().component_count(),
               static_cast<std::size_t>(scene.network().topology().node_count()),
               sim::to_seconds(scene.duration()));
+  return 0;
+}
+
+// Shared --journal/--metrics/--trace/--prom export tail of run and serve.
+int export_observability(scenario::Scenario& scene, const std::string& journal_path,
+                         const std::string& metrics_path, const std::string& trace_path,
+                         const std::string& prom_path) {
+  const obs::Recorder& recorder = scene.recorder();
+  if (!journal_path.empty()) {
+    if (!recorder.journal().write_jsonl(journal_path)) {
+      std::fprintf(stderr, "cannot write '%s'\n", journal_path.c_str());
+      return 1;
+    }
+    std::printf("journal    %zu events -> %s (%lld dropped)\n",
+                recorder.journal().size(), journal_path.c_str(),
+                static_cast<long long>(recorder.journal().dropped()));
+  }
+  if (!metrics_path.empty()) {
+    if (!recorder.metrics().write_json(metrics_path, scene.now())) {
+      std::fprintf(stderr, "cannot write '%s'\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics    %zu instruments -> %s\n",
+                recorder.metrics().instrument_count(), metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!recorder.journal().write_trace(trace_path)) {
+      std::fprintf(stderr, "cannot write '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace      %s (open in https://ui.perfetto.dev)\n", trace_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    std::ofstream out(prom_path);
+    if (!out || !(out << recorder.metrics().to_prometheus(scene.now()))) {
+      std::fprintf(stderr, "cannot write '%s'\n", prom_path.c_str());
+      return 1;
+    }
+    std::printf("prom       %zu instruments -> %s\n",
+                recorder.metrics().instrument_count(), prom_path.c_str());
+  }
   return 0;
 }
 
@@ -194,42 +259,137 @@ int cmd_run(const std::vector<std::string>& args) {
     std::printf("faults     %d injected, %d invariant violations\n",
                 report.faults_injected, report.invariant_violations);
   }
+  return export_observability(scene, journal_path, metrics_path, trace_path,
+                              prom_path);
+}
 
-  const obs::Recorder& recorder = scene.recorder();
-  if (!journal_path.empty()) {
-    if (!recorder.journal().write_jsonl(journal_path)) {
-      std::fprintf(stderr, "cannot write '%s'\n", journal_path.c_str());
-      return 1;
+// ---- bassctl serve ----
+
+// Long-running control-plane mode: builds the mesh from the scenario, then
+// hands the orchestrator to the serving loop (churn arrivals through the
+// admission queue, undeploy on departure) instead of a one-shot app.
+int cmd_serve(const std::vector<std::string>& args) {
+  std::string path;
+  std::string journal_path, metrics_path, trace_path, prom_path;
+  std::string mode, policy;
+  std::uint64_t duration_s = 0, seed = 0;
+  bool has_duration = false, has_seed = false;
+  double arrival_per_min = -1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--duration" && i + 1 < args.size()) {
+      if (!parse_u64_flag("--duration", args[++i], 1, duration_s)) return 2;
+      has_duration = true;
+    } else if (args[i] == "--arrival-rate" && i + 1 < args.size()) {
+      const std::string& token = args[++i];
+      char* end = nullptr;
+      arrival_per_min = std::strtod(token.c_str(), &end);
+      if (token.empty() || end != token.c_str() + token.size() || arrival_per_min <= 0) {
+        std::fprintf(stderr, "bassctl: --arrival-rate expects a rate/min > 0, got '%s'\n",
+                     token.c_str());
+        return 2;
+      }
+    } else if (args[i] == "--mode" && i + 1 < args.size()) {
+      mode = args[++i];
+      if (auto parsed = scenario::parse_serve_mode(mode); !parsed.ok()) {
+        std::fprintf(stderr, "bassctl: %s\n", parsed.error().c_str());
+        return 2;
+      }
+    } else if (args[i] == "--policy" && i + 1 < args.size()) {
+      policy = args[++i];
+      if (auto parsed = core::parse_admission_policy(policy); !parsed.ok()) {
+        std::fprintf(stderr, "bassctl: %s\n", parsed.error().c_str());
+        return 2;
+      }
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      if (!parse_u64_flag("--seed", args[++i], 0, seed)) return 2;
+      has_seed = true;
+    } else if (args[i] == "--journal" && i + 1 < args.size()) {
+      journal_path = args[++i];
+    } else if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--prom" && i + 1 < args.size()) {
+      prom_path = args[++i];
+    } else if (args[i].rfind("--", 0) != 0 && path.empty()) {
+      path = args[i];
+    } else {
+      return usage();
     }
-    std::printf("journal    %zu events -> %s (%lld dropped)\n",
-                recorder.journal().size(), journal_path.c_str(),
-                static_cast<long long>(recorder.journal().dropped()));
   }
-  if (!metrics_path.empty()) {
-    if (!recorder.metrics().write_json(metrics_path, scene.now())) {
-      std::fprintf(stderr, "cannot write '%s'\n", metrics_path.c_str());
-      return 1;
-    }
-    std::printf("metrics    %zu instruments -> %s\n",
-                recorder.metrics().instrument_count(), metrics_path.c_str());
+  if (path.empty()) return usage();
+
+  auto ini = util::load_ini(path);
+  if (!ini.ok()) {
+    std::fprintf(stderr, "scenario error: %s\n", ini.error().c_str());
+    return 1;
   }
-  if (!trace_path.empty()) {
-    if (!recorder.journal().write_trace(trace_path)) {
-      std::fprintf(stderr, "cannot write '%s'\n", trace_path.c_str());
-      return 1;
-    }
-    std::printf("trace      %s (open in https://ui.perfetto.dev)\n", trace_path.c_str());
+  // Flags override the ini; a missing [serve] section is created so any
+  // mesh-only scenario can serve with defaults.
+  std::vector<exec::IniOverride> overrides;
+  if (ini.value().first_of_kind("serve") == nullptr) {
+    overrides.push_back({"serve", "mode", mode.empty() ? "adaptive" : mode});
   }
-  if (!prom_path.empty()) {
-    std::ofstream out(prom_path);
-    if (!out || !(out << recorder.metrics().to_prometheus(scene.now()))) {
-      std::fprintf(stderr, "cannot write '%s'\n", prom_path.c_str());
-      return 1;
-    }
-    std::printf("prom       %zu instruments -> %s\n",
-                recorder.metrics().instrument_count(), prom_path.c_str());
+  if (has_duration) {
+    overrides.push_back({"run", "duration_s", std::to_string(duration_s)});
   }
-  return 0;
+  if (arrival_per_min > 0) {
+    overrides.push_back(
+        {"serve", "arrival_per_min", util::str_format("%.6f", arrival_per_min)});
+  }
+  if (!mode.empty()) overrides.push_back({"serve", "mode", mode});
+  if (!policy.empty()) overrides.push_back({"serve", "policy", policy});
+  if (has_seed) overrides.push_back({"serve", "seed", std::to_string(seed)});
+  exec::apply_overrides(ini.value(), overrides);
+
+  auto s = scenario::Scenario::from_ini(ini.value());
+  if (!s.ok()) {
+    std::fprintf(stderr, "scenario error: %s\n", s.error().c_str());
+    return 1;
+  }
+  auto& scene = *s.value();
+  const auto report = scene.run();
+
+  std::printf("churn      %lld arrivals, %lld departures (%lld cancelled in"
+              " queue), %d live at end\n",
+              static_cast<long long>(report.serve_arrivals),
+              static_cast<long long>(report.serve_departures),
+              static_cast<long long>(report.serve_cancelled),
+              report.serve_live_at_end);
+  std::printf("admission  %lld admitted, %lld rejected, %lld deferred"
+              " (peak queue depth %d)\n",
+              static_cast<long long>(report.serve_admitted),
+              static_cast<long long>(report.serve_rejected),
+              static_cast<long long>(report.serve_deferred),
+              report.serve_peak_queue_depth);
+  std::printf("migrations %zu (%lld from rebalance)\n", report.migrations,
+              static_cast<long long>(report.serve_rebalance_moves));
+  // The serving SLO numbers: how long arrivals waited for a yes/no, and how
+  // long controller decisions took — both sim-clock, straight off the
+  // metrics registry (the same instruments --metrics/--prom export).
+  obs::MetricsRegistry& metrics = scene.recorder().metrics();
+  const obs::LogHistogram& wait = metrics.log_timer_us("orchestrator.admission_wait_us");
+  if (wait.count() > 0) {
+    std::printf("admission latency: p50 %.1f ms, p99 %.1f ms, max %.1f ms"
+                " over %lld decisions\n",
+                wait.percentile(0.50) / 1e3, wait.percentile(0.99) / 1e3,
+                wait.max() / 1e3, static_cast<long long>(wait.count()));
+  }
+  const obs::LogHistogram& decision = metrics.log_timer_us("orchestrator.decision_us");
+  if (decision.count() > 0) {
+    std::printf("decision latency:  p50 %.1f us, p99 %.1f us, max %.1f us"
+                " over %lld rounds\n",
+                decision.percentile(0.50), decision.percentile(0.99),
+                decision.max(), static_cast<long long>(decision.count()));
+  }
+  const int rc = export_observability(scene, journal_path, metrics_path,
+                                      trace_path, prom_path);
+  if (report.invariant_violations > 0) {
+    std::fprintf(stderr, "FAIL: %d invariant violations\n",
+                 report.invariant_violations);
+    return rc != 0 ? rc : 1;
+  }
+  return rc;
 }
 
 // Filters and pretty-prints a journal written by `run --journal`. Times are
@@ -1067,6 +1227,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(rest.begin() + 1, rest.end());
   if (cmd == "validate" && args.size() == 1) return cmd_validate(args[0]);
   if (cmd == "run") return cmd_run(args);
+  if (cmd == "serve") return cmd_serve(args);
   if (cmd == "events") return cmd_events(args);
   if (cmd == "report") return cmd_report(args);
   if (cmd == "journal") return cmd_journal(args);
