@@ -1,0 +1,343 @@
+// Scaling study for the sharded orchestrator (DESIGN.md §11): orchestrator
+// round time and solver throughput vs city size, sharded against unsharded
+// on the identical generated topology and serve workload.
+//
+// Usage:
+//   bench_scale [--smoke] [--jobs N] [--check-baseline[=path]]
+//
+// Full mode sweeps 512..8192 nodes (the 8192-node row runs sharded only:
+// the unsharded all-pairs routing table at that size costs ~7 GB and tells
+// us nothing new). --smoke runs the single 2048-node/4-zone row plus its
+// unsharded twin — the CI gate. --check-baseline compares against
+// bench/baselines/scale_baseline.json:
+//   * determinism: 512-node merged journals for --jobs 1 and --jobs 2 must
+//     be byte-identical — unconditional, cheap, and the contract the whole
+//     subsystem rests on;
+//   * speedup: sharded round time must beat unsharded by the baseline's
+//     minimum at the gated sizes — skipped under sanitizers.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "obs/journal.h"
+#include "scenario/scenario.h"
+#include "util/ini.h"
+#include "util/strings.h"
+#include "zone/sharded.h"
+
+namespace bass::bench {
+namespace {
+
+struct Row {
+  int nodes = 0;
+  int blocks_x = 0;
+  int blocks_y = 0;  // nodes = blocks_x * blocks_y * 4
+  int zones = 0;
+  bool run_unsharded = true;
+};
+
+constexpr int kRoundSeconds = 10;
+constexpr int kDurationSeconds = 60;
+
+std::string make_ini(const Row& row, bool zoned) {
+  std::string text = util::str_format(
+      "[topology]\n"
+      "kind = city_grid\n"
+      "blocks_x = %d\n"
+      "blocks_y = %d\n"
+      "nodes_per_block = 4\n"
+      "gateway_every = 8\n"
+      "[monitor]\n"
+      "enabled = false\n"
+      "[invariants]\n"
+      "enabled = false\n"
+      "[serve]\n"
+      "mode = adaptive\n"
+      "seed = 42\n"
+      "arrival_per_min = %d\n"
+      "mean_lifetime_s = 120\n"
+      "resource_scale = 0.1\n"
+      "[run]\n"
+      "duration_s = %d\n",
+      row.blocks_x, row.blocks_y, std::max(row.nodes / 8, 1), kDurationSeconds);
+  if (zoned) {
+    text += util::str_format(
+        "[zones]\n"
+        "count = %d\n"
+        "method = bfs\n"
+        "round_interval_s = %d\n",
+        row.zones, kRoundSeconds);
+  }
+  return text;
+}
+
+struct SideResult {
+  double round_ms = 0.0;
+  double solver_flows_per_sec = 0.0;
+  std::int64_t flows_touched = 0;
+  double alloc_seconds = 0.0;
+  // Sharded only: wall split across the run's phases, for reading where the
+  // time goes (warmup + transit bring-up / rounds / drain + teardown).
+  double start_ms = 0.0;
+  double rounds_ms = 0.0;
+  double finish_ms = 0.0;
+};
+
+util::Expected<std::unique_ptr<zone::ShardedOrchestrator>> build_sharded(
+    const Row& row, std::size_t jobs) {
+  auto ini = util::parse_ini(make_ini(row, true));
+  if (!ini.ok()) return util::make_error(ini.error());
+  return zone::ShardedOrchestrator::from_ini(ini.value(), jobs);
+}
+
+SideResult run_sharded(const Row& row, std::size_t jobs) {
+  auto built = build_sharded(row, jobs);
+  if (!built.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", built.error().c_str());
+    std::exit(1);
+  }
+  auto orch = built.take();
+  const auto ms_since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  auto t0 = std::chrono::steady_clock::now();
+  orch->start();
+  SideResult r;
+  r.start_ms = ms_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  while (orch->rounds_done() < orch->rounds_total()) orch->run_round();
+  r.rounds_ms = ms_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  orch->finish();
+  r.finish_ms = ms_since(t0);
+  const zone::ShardedReport& report = orch->report();
+  r.round_ms = (r.start_ms + r.rounds_ms + r.finish_ms) /
+               std::max(report.rounds, 1);
+  for (int z = 0; z < orch->zones(); ++z) {
+    const auto stats = orch->zone_network(z).alloc_stats();
+    r.flows_touched += stats.flows_touched;
+    r.alloc_seconds += stats.alloc_seconds;
+  }
+  if (r.alloc_seconds > 0.0) {
+    r.solver_flows_per_sec =
+        static_cast<double>(r.flows_touched) / r.alloc_seconds;
+  }
+  return r;
+}
+
+SideResult run_unsharded(const Row& row) {
+  auto ini = util::parse_ini(make_ini(row, false));
+  if (!ini.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", ini.error().c_str());
+    std::exit(1);
+  }
+  auto s = scenario::Scenario::from_ini(ini.value());
+  if (!s.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", s.error().c_str());
+    std::exit(1);
+  }
+  auto& scene = *s.value();
+  const auto t0 = std::chrono::steady_clock::now();
+  scene.run();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  SideResult r;
+  r.round_ms = wall_ms / (kDurationSeconds / kRoundSeconds);
+  const auto stats = scene.network().alloc_stats();
+  r.flows_touched = stats.flows_touched;
+  r.alloc_seconds = stats.alloc_seconds;
+  if (stats.alloc_seconds > 0.0) {
+    r.solver_flows_per_sec =
+        static_cast<double>(stats.flows_touched) / stats.alloc_seconds;
+  }
+  return r;
+}
+
+// The determinism gate: same seed, different worker counts, byte-identical
+// merged journals. Cheap (512 nodes) and unconditional.
+bool determinism_gate() {
+  const Row row{512, 16, 8, 2, false};
+  std::string journals[2];
+  const std::size_t jobs[2] = {1, 2};
+  for (int i = 0; i < 2; ++i) {
+    auto built = build_sharded(row, jobs[i]);
+    if (!built.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", built.error().c_str());
+      return false;
+    }
+    auto orch = built.take();
+    orch->run();
+    journals[i] = orch->merged_journal();
+  }
+  const bool ok = !journals[0].empty() && journals[0] == journals[1];
+  std::printf("  %-44s %12zu vs %12zu  %s\n", "determinism: journal bytes 1j/2j",
+              journals[0].size(), journals[1].size(), ok ? "ok" : "REGRESSION");
+  return ok;
+}
+
+double field_as_double(
+    const std::vector<std::pair<std::string, std::string>>& fields,
+    const std::string& key, double fallback) {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return std::strtod(v.c_str(), nullptr);
+  }
+  return fallback;
+}
+
+bool timing_gates_enabled() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return false;
+#else
+  return true;
+#endif
+}
+
+struct RowResult {
+  Row row;
+  SideResult sharded;
+  SideResult unsharded;  // round_ms == 0 when not run
+  double speedup() const {
+    return unsharded.round_ms > 0.0 && sharded.round_ms > 0.0
+               ? unsharded.round_ms / sharded.round_ms
+               : 0.0;
+  }
+};
+
+int check_baseline(const std::string& path, const std::vector<RowResult>& results) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  auto gate = [&](bool ok, const char* what, double got, double bound) {
+    std::printf("  %-44s %12.1f vs %12.1f  %s\n", what, got, bound,
+                ok ? "ok" : "REGRESSION");
+    if (!ok) ++failures;
+  };
+  std::printf("baseline check (%s)%s:\n", path.c_str(),
+              timing_gates_enabled() ? "" : " [sanitized: timing gates skipped]");
+  if (!determinism_gate()) ++failures;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::pair<std::string, std::string>> fields;
+    if (!obs::parse_journal_line(line, fields)) {
+      std::fprintf(stderr, "unparseable baseline line: %s\n", line.c_str());
+      return 1;
+    }
+    if (!timing_gates_enabled()) continue;
+    for (const RowResult& r : results) {
+      if (r.unsharded.round_ms <= 0.0) continue;
+      const std::string key = util::str_format(
+          "min_speedup_%d_%d", r.row.nodes, r.row.zones);
+      const double min_speedup = field_as_double(fields, key, 0.0);
+      if (min_speedup > 0.0) {
+        gate(r.speedup() >= min_speedup,
+             util::str_format("sharded speedup %d nodes / %d zones",
+                              r.row.nodes, r.row.zones)
+                 .c_str(),
+             r.speedup(), min_speedup);
+      }
+    }
+  }
+  std::printf(failures == 0 ? "RESULT: PASS\n"
+                            : "RESULT: FAIL (baseline regression)\n");
+  return failures == 0 ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  bool baseline = false;
+  std::size_t jobs = 1;
+  std::string baseline_path = "bench/baselines/scale_baseline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--check-baseline") == 0) {
+      baseline = true;
+    } else if (std::strncmp(argv[i], "--check-baseline=", 17) == 0) {
+      baseline = true;
+      baseline_path = argv[i] + 17;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scale [--smoke] [--jobs N]"
+                   " [--check-baseline[=path]]\n");
+      return 2;
+    }
+  }
+  print_header(smoke ? "orchestrator scaling (smoke)" : "orchestrator scaling");
+
+  std::vector<Row> rows;
+  if (smoke) {
+    rows.push_back({2048, 32, 16, 4, true});
+  } else {
+    rows.push_back({512, 16, 8, 2, true});
+    rows.push_back({1024, 16, 16, 4, true});
+    rows.push_back({2048, 32, 16, 4, true});
+    rows.push_back({4096, 32, 32, 8, true});
+    rows.push_back({8192, 64, 32, 16, false});
+  }
+
+  std::printf("%7s %6s %14s %14s %9s %16s\n", "nodes", "zones", "sharded ms/rd",
+              "unsharded ms", "speedup", "solver flows/s");
+  std::vector<RowResult> results;
+  for (const Row& row : rows) {
+    RowResult r;
+    r.row = row;
+    r.sharded = run_sharded(row, jobs);
+    if (row.run_unsharded) {
+      r.unsharded = run_unsharded(row);
+      std::printf("%7d %6d %14.1f %14.1f %8.1fx %16.0f\n", row.nodes, row.zones,
+                  r.sharded.round_ms, r.unsharded.round_ms, r.speedup(),
+                  r.sharded.solver_flows_per_sec);
+    } else {
+      std::printf("%7d %6d %14.1f %14s %9s %16.0f  (unsharded skipped:"
+                  " O(n^2) routing)\n",
+                  row.nodes, row.zones, r.sharded.round_ms, "-", "-",
+                  r.sharded.solver_flows_per_sec);
+    }
+    results.push_back(r);
+  }
+
+  obs::MetricsRegistry reg;
+  emit_build_info(reg);
+  reg.gauge("smoke").set(smoke ? 1 : 0);
+  reg.gauge("jobs").set(static_cast<double>(jobs));
+  for (const RowResult& r : results) {
+    const obs::Labels labels = {{"nodes", std::to_string(r.row.nodes)},
+                                {"zones", std::to_string(r.row.zones)}};
+    reg.gauge("sharded.round_ms", labels).set(r.sharded.round_ms);
+    reg.gauge("sharded.start_ms", labels).set(r.sharded.start_ms);
+    reg.gauge("sharded.rounds_ms", labels).set(r.sharded.rounds_ms);
+    reg.gauge("sharded.finish_ms", labels).set(r.sharded.finish_ms);
+    reg.gauge("sharded.alloc_seconds", labels).set(r.sharded.alloc_seconds);
+    reg.gauge("sharded.solver_flows_per_sec", labels)
+        .set(r.sharded.solver_flows_per_sec);
+    if (r.unsharded.round_ms > 0.0) {
+      reg.gauge("unsharded.round_ms", labels).set(r.unsharded.round_ms);
+      reg.gauge("unsharded.alloc_seconds", labels).set(r.unsharded.alloc_seconds);
+      reg.gauge("unsharded.solver_flows_per_sec", labels)
+          .set(r.unsharded.solver_flows_per_sec);
+      reg.gauge("speedup", labels).set(r.speedup());
+    }
+  }
+  write_bench_json("scale", reg);
+
+  if (baseline) return check_baseline(baseline_path, results);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bass::bench
+
+int main(int argc, char** argv) { return bass::bench::run(argc, argv); }

@@ -56,6 +56,7 @@ struct NameVisitor {
   const char* operator()(const DeploymentClosed&) const { return "deployment_closed"; }
   const char* operator()(const AdmissionOutcome&) const { return "admission_outcome"; }
   const char* operator()(const OrchestratorWarning&) const { return "orchestrator_warning"; }
+  const char* operator()(const ZoneRound&) const { return "zone_round"; }
 };
 
 struct JsonVisitor {
@@ -135,6 +136,14 @@ struct JsonVisitor {
   void operator()(const OrchestratorWarning& e) const {
     out += util::str_format(",\"what\":\"%s\",\"deployment\":%d,\"node\":%d",
                             e.what, e.deployment, e.node);
+  }
+  void operator()(const ZoneRound& e) const {
+    // No wall-clock field on purpose: round wall time goes to the
+    // zone.round_wall_us metric, keeping same-seed journals byte-identical.
+    out += util::str_format(
+        ",\"zone\":%d,\"round\":%d,\"flows\":%d,\"border_streams\":%d,"
+        "\"recon_iterations\":%d",
+        e.zone, e.round, e.flows, e.border_streams, e.recon_iterations);
   }
 };
 

@@ -186,11 +186,28 @@ struct OrchestratorWarning {
   SpanId parent = kNoSpan;
 };
 
+// One sharded-orchestration zone round settled. The coordinator emits a
+// summary record (zone = -1) whose span parents one record per zone, so the
+// causal chain reads coordinator round → zone rounds. Timestamps and ids
+// are sim-time/counter derived — no wall clock — so same-seed sharded runs
+// stay byte-identical; the round's wall time lives in the metrics registry.
+// POD by design so the deferred-encode ring can memcpy-stage it.
+struct ZoneRound {
+  sim::Time at = 0;
+  int zone = -1;                // -1: coordinator summary over all zones
+  int round = 0;
+  int flows = 0;                // open streams in the zone at round end
+  int border_streams = 0;       // transit stream halves touching the zone
+  int recon_iterations = 0;     // reconciliation passes that changed a rate
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
+};
+
 using Event = std::variant<ScheduleDecision, ProbeCompleted, HeadroomViolation,
                            MigrationStarted, MigrationCompleted, ControllerRound,
                            ReallocationSolved, LinkCapacityChanged, FaultInjected,
                            InvariantViolation, DeploymentClosed, AdmissionOutcome,
-                           OrchestratorWarning>;
+                           OrchestratorWarning, ZoneRound>;
 
 // Sim-time timestamp of any event.
 sim::Time event_time(const Event& event);

@@ -19,6 +19,7 @@ constexpr int kTidController = 2;
 constexpr int kTidMonitor = 3;
 constexpr int kTidNetwork = 4;
 constexpr int kTidFault = 5;
+constexpr int kTidZone = 6;
 
 struct TraceShape {
   int tid = kTidNetwork;
@@ -87,6 +88,11 @@ struct TraceVisitor {
   }
   TraceShape operator()(const OrchestratorWarning& e) const {
     return {kTidScheduler, e.at, -1, util::str_format("WARN %s", e.what)};
+  }
+  TraceShape operator()(const ZoneRound& e) const {
+    return {kTidZone, e.at, -1,
+            e.zone < 0 ? util::str_format("round %d (all zones)", e.round)
+                       : util::str_format("round %d zone%d", e.round, e.zone)};
   }
 };
 
@@ -200,6 +206,7 @@ std::string EventJournal::to_trace() const {
       {kTidMonitor, "net-monitor"},
       {kTidNetwork, "network"},
       {kTidFault, "fault"},
+      {kTidZone, "zones"},
   };
   out += util::str_format(
       "    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"

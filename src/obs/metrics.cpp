@@ -11,8 +11,14 @@ namespace bass::obs {
 namespace {
 
 std::string instrument_key(const std::string& name, const Labels& labels) {
+  // Label order is canonicalized so {a=1,b=2} and {b=2,a=1} resolve to the
+  // same instrument — dynamic-cardinality call sites (one instrument per
+  // zone) must not mint duplicates just by listing labels differently. The
+  // instrument's display labels keep first-registration order.
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
   std::string key = name;
-  for (const auto& [k, v] : labels) {
+  for (const auto& [k, v] : sorted) {
     key += '\x1f';  // unit separator: cannot appear in sane label text
     key += k;
     key += '\x1f';
@@ -24,8 +30,18 @@ std::string instrument_key(const std::string& name, const Labels& labels) {
 void append_escaped(const std::string& s, std::string& out) {
   out += '"';
   for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
   }
   out += '"';
 }
@@ -229,6 +245,22 @@ LogHistogram& MetricsRegistry::log_timer_us(const std::string& name,
   return log_histogram(name, labels);
 }
 
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const std::string&, const Labels&,
+                             const Counter&)>& fn) const {
+  for (const auto& inst : order_) {
+    if (inst->kind == Kind::kCounter) fn(inst->name, inst->labels, *inst->counter);
+  }
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const std::string&, const Labels&,
+                             const Gauge&)>& fn) const {
+  for (const auto& inst : order_) {
+    if (inst->kind == Kind::kGauge) fn(inst->name, inst->labels, *inst->gauge);
+  }
+}
+
 void MetricsRegistry::for_each_log_histogram(
     const std::function<void(const std::string&, const Labels&,
                              const LogHistogram&)>& fn) const {
@@ -350,18 +382,36 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+// Prometheus label names allow [a-zA-Z_][a-zA-Z0-9_]*; anything else maps
+// to '_' (with a leading '_' when the first char would be a digit).
+std::string prom_label_name(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
 // Renders {k="v",...}; `extra` ("le=\"5\"" / "quantile=\"0.5\"") is
-// appended after the instrument's own labels.
+// appended after the instrument's own labels. Values follow the exposition
+// format's escaping rules: backslash, double-quote, and newline.
 std::string prom_labels(const Labels& labels, const std::string& extra = {}) {
   if (labels.empty() && extra.empty()) return {};
   std::string out = "{";
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (i != 0) out += ',';
-    out += labels[i].first;
+    out += prom_label_name(labels[i].first);
     out += "=\"";
     for (char c : labels[i].second) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
     }
     out += '"';
   }

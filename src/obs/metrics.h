@@ -209,6 +209,15 @@ class MetricsRegistry {
       const std::function<void(const std::string&, const Labels&,
                                const LogHistogram&)>& fn) const;
 
+  // Counter/gauge visitors in registration order — lets the sharded
+  // orchestrator re-home per-zone instruments under a {zone} label.
+  void for_each_counter(
+      const std::function<void(const std::string&, const Labels&,
+                               const Counter&)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Labels&,
+                               const Gauge&)>& fn) const;
+
   // JSON snapshot: {"t_us":..., "counters":[...], "gauges":[...],
   // "histograms":[...]}, instruments in registration order. Histogram
   // entries carry p50/p90/p99 alongside min/max/sum; log histograms appear

@@ -31,7 +31,7 @@ Recorder::Recorder(RecorderConfig config)
       MigrationStarted{}, MigrationCompleted{}, ControllerRound{},
       ReallocationSolved{}, LinkCapacityChanged{}, FaultInjected{},
       InvariantViolation{}, DeploymentClosed{},    AdmissionOutcome{},
-      OrchestratorWarning{},
+      OrchestratorWarning{},  ZoneRound{},
   };
   static_assert(std::variant_size_v<Event> == sizeof(samples) / sizeof(samples[0]),
                 "register a counter sample for every event alternative");

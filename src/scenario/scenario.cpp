@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "app/catalog.h"
+#include "topo/city_grid.h"
 #include "trace/generator.h"
 #include "util/strings.h"
 
@@ -11,13 +12,6 @@ namespace bass::scenario {
 namespace {
 
 util::Error err(const std::string& message) { return util::make_error(message); }
-
-core::SchedulerKind parse_scheduler(const std::string& kind) {
-  if (kind == "bfs") return core::SchedulerKind::kBassBfs;
-  if (kind == "longest-path") return core::SchedulerKind::kBassLongestPath;
-  if (kind == "k3s") return core::SchedulerKind::kK3sDefault;
-  return core::SchedulerKind::kBassAuto;
-}
 
 // Generation parameters for a synthetic [trace] section (no file= key).
 trace::GeneratorParams parse_trace_gen_params(const util::IniSection& section,
@@ -148,7 +142,16 @@ util::Expected<AppBuild> build_app(
   return out;
 }
 
-sim::Duration parse_duration(const util::IniFile& ini) {
+}  // namespace
+
+core::SchedulerKind parse_scheduler_kind(const std::string& kind) {
+  if (kind == "bfs") return core::SchedulerKind::kBassBfs;
+  if (kind == "longest-path") return core::SchedulerKind::kBassLongestPath;
+  if (kind == "k3s") return core::SchedulerKind::kK3sDefault;
+  return core::SchedulerKind::kBassAuto;
+}
+
+sim::Duration parse_run_duration(const util::IniFile& ini) {
   const auto* run = ini.first_of_kind("run");
   return sim::seconds_f(run ? run->number_or("duration_s", 600) : 600);
 }
@@ -193,7 +196,7 @@ util::Expected<ServeConfig> parse_serve_config(const util::IniFile& ini,
   cfg.admission.max_retries = static_cast<int>(serve.number_or("max_retries", 5));
 
   const auto* sched = ini.first_of_kind("scheduler");
-  cfg.scheduler = parse_scheduler(sched ? sched->get_or("kind", "auto") : "auto");
+  cfg.scheduler = parse_scheduler_kind(sched ? sched->get_or("kind", "auto") : "auto");
   if (const auto* mig = ini.first_of_kind("migration")) {
     cfg.migration = parse_migration_params(*mig);
   }
@@ -204,7 +207,63 @@ util::Expected<ServeConfig> parse_serve_config(const util::IniFile& ini,
   return cfg;
 }
 
-}  // namespace
+util::Expected<TopologySpec> build_topology(const util::IniFile& ini) {
+  TopologySpec spec;
+  const auto* gen = ini.first_of_kind("topology");
+  if (gen != nullptr && !ini.of_kind("node").empty()) {
+    return err("scenario defines both [topology] and [node] sections");
+  }
+  if (gen != nullptr) {
+    const std::string kind = gen->get_or("kind", "city_grid");
+    if (kind != "city_grid") {
+      return err("[topology]: unknown kind '" + kind + "'");
+    }
+    auto params = topo::parse_city_grid(*gen);
+    if (!params.ok()) return err(params.error());
+    auto grid = topo::make_city_grid(params.value());
+    if (!grid.ok()) return err(grid.error());
+    topo::CityGrid city = grid.take();
+    spec.topology = std::move(city.topology);
+    spec.generated = true;
+    cluster::NodeSpec node_spec;
+    node_spec.cpu_milli = static_cast<std::int64_t>(gen->number_or("cpu", 4000));
+    node_spec.memory_mb =
+        static_cast<std::int64_t>(gen->number_or("memory_mb", 4096));
+    spec.specs.assign(static_cast<std::size_t>(spec.topology.node_count()),
+                      node_spec);
+    for (net::NodeId n = 0; n < spec.topology.node_count(); ++n) {
+      spec.nodes_by_name[spec.topology.node_name(n)] = n;
+    }
+    return spec;
+  }
+
+  for (const auto* section : ini.of_kind("node")) {
+    if (section->heading.size() != 2) return err("[node] needs exactly one name");
+    const std::string& name = section->heading[1];
+    if (spec.nodes_by_name.count(name)) return err("duplicate node '" + name + "'");
+    spec.nodes_by_name[name] = spec.topology.add_node(name);
+    cluster::NodeSpec node_spec;
+    node_spec.cpu_milli = static_cast<std::int64_t>(section->number_or("cpu", 4000));
+    node_spec.memory_mb =
+        static_cast<std::int64_t>(section->number_or("memory_mb", 4096));
+    node_spec.schedulable = section->flag_or("schedulable", true);
+    spec.specs.push_back(node_spec);
+  }
+  if (spec.nodes_by_name.empty()) return err("scenario defines no [node] sections");
+
+  for (const auto* section : ini.of_kind("link")) {
+    if (section->heading.size() != 3) return err("[link] needs two node names");
+    const auto a = spec.nodes_by_name.find(section->heading[1]);
+    const auto b = spec.nodes_by_name.find(section->heading[2]);
+    if (a == spec.nodes_by_name.end() || b == spec.nodes_by_name.end()) {
+      return err("[link " + section->heading[1] + " " + section->heading[2] +
+                 "]: unknown node");
+    }
+    const double mbps = section->number_or("capacity_mbps", 10.0);
+    spec.topology.add_link(a->second, b->second, static_cast<net::Bps>(mbps * 1e6));
+  }
+  return spec;
+}
 
 std::string app_fingerprint(const util::IniFile& ini) {
   std::string fp;
@@ -258,7 +317,7 @@ util::Expected<std::shared_ptr<const ScenarioAssets>> ScenarioAssets::preload(
     return it == nodes.end() ? net::kInvalidNode : it->second;
   };
 
-  const sim::Duration duration = parse_duration(ini);
+  const sim::Duration duration = parse_run_duration(ini);
   for (const auto* section : ini.of_kind("trace")) {
     if (section->heading.size() != 3) return err("[trace] needs two node names");
     if (const auto file = section->get("file")) {
@@ -324,47 +383,30 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(
   s->recorder_ = std::make_unique<obs::Recorder>(obs_cfg);
 
   // ---- Nodes & topology ----
-  net::Topology topo;
-  for (const auto* section : ini.of_kind("node")) {
-    if (section->heading.size() != 2) return err("[node] needs exactly one name");
-    const std::string& name = section->heading[1];
-    if (s->nodes_by_name_.count(name)) return err("duplicate node '" + name + "'");
-    s->nodes_by_name_[name] = topo.add_node(name);
-  }
-  if (s->nodes_by_name_.empty()) return err("scenario defines no [node] sections");
-
-  for (const auto* section : ini.of_kind("link")) {
-    if (section->heading.size() != 3) return err("[link] needs two node names");
-    const net::NodeId a = s->node_id(section->heading[1]);
-    const net::NodeId b = s->node_id(section->heading[2]);
-    if (a == net::kInvalidNode || b == net::kInvalidNode) {
-      return err("[link " + section->heading[1] + " " + section->heading[2] +
-                 "]: unknown node");
-    }
-    const double mbps = section->number_or("capacity_mbps", 10.0);
-    topo.add_link(a, b, static_cast<net::Bps>(mbps * 1e6));
-  }
-  s->network_ = std::make_unique<net::Network>(s->sim_, std::move(topo));
+  auto built_topo = build_topology(ini);
+  if (!built_topo.ok()) return err(built_topo.error());
+  TopologySpec topo_spec = built_topo.take();
+  s->nodes_by_name_ = std::move(topo_spec.nodes_by_name);
+  s->network_ = std::make_unique<net::Network>(s->sim_, std::move(topo_spec.topology));
   s->network_->set_recorder(s->recorder_.get());
 
   // Every pair must be reachable — the paper (and BASS) assume no
-  // partitions (§3.1).
-  for (const auto& [na, a] : s->nodes_by_name_) {
-    for (const auto& [nb, b] : s->nodes_by_name_) {
-      if (!s->network_->routing().reachable(a, b)) {
-        return err("mesh is partitioned: '" + na + "' cannot reach '" + nb + "'");
+  // partitions (§3.1). Generated topologies are connected by construction;
+  // the all-pairs sweep would be O(n^2) at city scale, so they skip it.
+  if (!topo_spec.generated) {
+    for (const auto& [na, a] : s->nodes_by_name_) {
+      for (const auto& [nb, b] : s->nodes_by_name_) {
+        if (!s->network_->routing().reachable(a, b)) {
+          return err("mesh is partitioned: '" + na + "' cannot reach '" + nb + "'");
+        }
       }
     }
   }
 
   // ---- Cluster resources ----
-  for (const auto* section : ini.of_kind("node")) {
-    const net::NodeId id = s->node_id(section->heading[1]);
-    cluster::NodeSpec spec;
-    spec.cpu_milli = static_cast<std::int64_t>(section->number_or("cpu", 4000));
-    spec.memory_mb = static_cast<std::int64_t>(section->number_or("memory_mb", 4096));
-    spec.schedulable = section->flag_or("schedulable", true);
-    s->cluster_.add_node(id, spec);
+  for (net::NodeId id = 0;
+       id < static_cast<net::NodeId>(topo_spec.specs.size()); ++id) {
+    s->cluster_.add_node(id, topo_spec.specs[static_cast<std::size_t>(id)]);
   }
 
   // ---- Orchestrator & monitor ----
@@ -391,7 +433,7 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(
   // ---- Traces ----
   s->player_ = std::make_unique<trace::TracePlayer>(*s->network_);
   const auto* run = ini.first_of_kind("run");
-  s->duration_ = parse_duration(ini);
+  s->duration_ = parse_run_duration(ini);
   if (run != nullptr) s->dot_path_ = run->get_or("dot", "");
   bool has_traces = false;
   for (const auto* section : ini.of_kind("trace")) {
@@ -470,7 +512,7 @@ util::Expected<std::unique_ptr<Scenario>> Scenario::from_ini(
 
   // ---- Deploy / serving loop ----
   const auto* sched = ini.first_of_kind("scheduler");
-  const auto kind = parse_scheduler(sched ? sched->get_or("kind", "auto") : "auto");
+  const auto kind = parse_scheduler_kind(sched ? sched->get_or("kind", "auto") : "auto");
   // Probe the links once before placing if a monitor exists, so the
   // scheduler sees measured capacities.
   if (s->monitor_) {

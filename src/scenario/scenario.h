@@ -27,6 +27,24 @@
 //                           client = alpha    max_in_flight = 0   seed = 1
 //   [run]                   duration_s = 600  dot = placement.dot
 //
+// Generated topologies replace the explicit [node]/[link] sections (it is
+// an error to give both) — node names and specs come from the generator:
+//
+//   [topology]              kind = city_grid  blocks_x = 8  blocks_y = 8
+//                           nodes_per_block = 4  gateway_every = 8
+//                           intra_mbps = 100  street_mbps = 50
+//                           backbone_mbps = 200
+//                           cpu = 4000        memory_mb = 4096
+//
+// Sharded orchestration ([zones], consumed by zone::ShardedOrchestrator via
+// `bassctl serve --jobs N`; plain Scenario::from_ini ignores it, so the same
+// file also runs unsharded):
+//
+//   [zones]                 count = 4         method = bfs  # bfs | chunks
+//                           round_interval_s = 10
+//                           transit_per_border = 1  transit_mbps = 2
+//                           max_reconcile_iterations = 4
+//
 // Serving scenarios ([serve] present) replace the one-shot app + workload
 // with the bassd control-plane loop: no [component]/[edge] sections; apps
 // arrive and depart continuously per the churn schedule (DESIGN.md §10):
@@ -146,6 +164,32 @@ struct ScenarioAssets {
 // app-shaping [workload] keys). Two inis with equal fingerprints build
 // identical graphs, so assets built from one can serve the other.
 std::string app_fingerprint(const util::IniFile& ini);
+
+// The mesh substrate a scenario runs on, parsed once so Scenario::from_ini
+// and zone::ShardedOrchestrator build identical worlds from the same file.
+struct TopologySpec {
+  net::Topology topology;
+  std::vector<cluster::NodeSpec> specs;  // indexed by NodeId
+  std::map<std::string, net::NodeId> nodes_by_name;
+  // True for [topology]-generated meshes: the generator guarantees
+  // connectivity, so callers skip the O(n^2) all-pairs reachability check
+  // that would dominate city-scale construction.
+  bool generated = false;
+};
+
+// Builds the mesh from [node]/[link] sections or a [topology] generator
+// section (exactly one of the two must be present).
+util::Expected<TopologySpec> build_topology(const util::IniFile& ini);
+
+// ---- Shared ini parsers ----
+// Exported so the sharded orchestrator configures per-zone worlds with the
+// exact semantics (defaults included) of the unsharded scenario path.
+core::SchedulerKind parse_scheduler_kind(const std::string& kind);
+sim::Duration parse_run_duration(const util::IniFile& ini);
+controller::MigrationParams parse_migration_params(const util::IniSection& mig);
+// Requires a [serve] section to be present.
+util::Expected<ServeConfig> parse_serve_config(const util::IniFile& ini,
+                                               sim::Duration duration);
 
 class Scenario {
  public:

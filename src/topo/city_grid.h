@@ -1,0 +1,64 @@
+// City-block / campus-grid topology generator. A city deployment is a grid
+// of blocks; each block has one rooftop router and a handful of leaf nodes
+// (homes, cameras, kiosks) star-wired to it. Routers mesh with their grid
+// neighbours over street links, and every Nth block hosts a gateway whose
+// street links run at backbone capacity. The generator is pure and
+// deterministic: the same params always produce the same topology, node
+// ids, and names — which is what lets zoned scenarios assert byte-identical
+// journals across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/expected.h"
+#include "util/ini.h"
+
+namespace bass::topo {
+
+struct CityGridParams {
+  int blocks_x = 4;
+  int blocks_y = 4;
+  // Leaves per block, router included (nodes_per_block = 1 means a bare
+  // router grid).
+  int nodes_per_block = 4;
+  // Every Nth block (row-major index) is a gateway block; 0 disables
+  // gateways entirely.
+  int gateway_every = 8;
+  net::Bps intra_bps = net::mbps(100);     // leaf <-> router
+  net::Bps street_bps = net::mbps(50);     // router <-> neighbour router
+  net::Bps backbone_bps = net::mbps(200);  // street links touching a gateway
+};
+
+struct CityGrid {
+  net::Topology topology;
+  std::vector<net::NodeId> routers;   // one per block, row-major block order
+  std::vector<net::NodeId> gateways;  // subset of routers
+};
+
+class CityGridGenerator {
+ public:
+  explicit CityGridGenerator(CityGridParams params) : params_(params) {}
+
+  int node_count() const {
+    return params_.blocks_x * params_.blocks_y * params_.nodes_per_block;
+  }
+  const CityGridParams& params() const { return params_; }
+
+  CityGrid build() const;
+
+ private:
+  CityGridParams params_;
+};
+
+// Validates params (positive dimensions, positive capacities) before
+// building; errors name the offending field.
+util::Expected<CityGrid> make_city_grid(const CityGridParams& params);
+
+// Reads a [topology] ini section with kind = city_grid: blocks_x, blocks_y,
+// nodes_per_block, gateway_every, intra_mbps, street_mbps, backbone_mbps —
+// all optional with the struct defaults above.
+util::Expected<CityGridParams> parse_city_grid(const util::IniSection& section);
+
+}  // namespace bass::topo

@@ -1,0 +1,170 @@
+#include "zone/partition.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace bass::zone {
+namespace {
+
+// Undirected neighbour lists with ascending neighbour order — the BFS
+// visit order (and therefore the partition) must not depend on link
+// insertion order.
+std::vector<std::vector<net::NodeId>> adjacency(const net::Topology& topo) {
+  std::vector<std::vector<net::NodeId>> adj(
+      static_cast<std::size_t>(topo.node_count()));
+  for (net::NodeId n = 0; n < topo.node_count(); ++n) {
+    for (const net::LinkId l : topo.out_links(n)) {
+      adj[static_cast<std::size_t>(n)].push_back(topo.link(l).dst);
+    }
+    auto& row = adj[static_cast<std::size_t>(n)];
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  return adj;
+}
+
+constexpr int kUnreached = std::numeric_limits<int>::max();
+
+// BFS distance from every node to its nearest seed.
+void multi_source_bfs(const std::vector<std::vector<net::NodeId>>& adj,
+                      const std::vector<net::NodeId>& seeds,
+                      std::vector<int>& dist) {
+  dist.assign(adj.size(), kUnreached);
+  std::deque<net::NodeId> queue;
+  for (const net::NodeId s : seeds) {
+    dist[static_cast<std::size_t>(s)] = 0;
+    queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const net::NodeId n = queue.front();
+    queue.pop_front();
+    for (const net::NodeId m : adj[static_cast<std::size_t>(n)]) {
+      if (dist[static_cast<std::size_t>(m)] != kUnreached) continue;
+      dist[static_cast<std::size_t>(m)] = dist[static_cast<std::size_t>(n)] + 1;
+      queue.push_back(m);
+    }
+  }
+}
+
+std::vector<int> assign_chunks(int nodes, int zones) {
+  // Equal contiguous ranges; the first (nodes % zones) zones take the
+  // remainder node each.
+  std::vector<int> zone_of(static_cast<std::size_t>(nodes));
+  const int base = nodes / zones;
+  const int rem = nodes % zones;
+  int next = 0;
+  for (int z = 0; z < zones; ++z) {
+    const int size = base + (z < rem ? 1 : 0);
+    for (int i = 0; i < size; ++i) zone_of[static_cast<std::size_t>(next++)] = z;
+  }
+  return zone_of;
+}
+
+std::vector<int> assign_bfs(const std::vector<std::vector<net::NodeId>>& adj,
+                            int zones) {
+  const int nodes = static_cast<int>(adj.size());
+
+  // Farthest-point seeding: node 0 first, then repeatedly the node farthest
+  // from every existing seed (ties to the lowest id) — spreads seeds across
+  // the mesh diameter without any geometry input.
+  std::vector<net::NodeId> seeds{0};
+  std::vector<int> dist;
+  while (static_cast<int>(seeds.size()) < zones) {
+    multi_source_bfs(adj, seeds, dist);
+    net::NodeId best = net::kInvalidNode;
+    int best_dist = -1;
+    for (net::NodeId n = 0; n < nodes; ++n) {
+      const int d = dist[static_cast<std::size_t>(n)];
+      if (d == kUnreached || d == 0) continue;
+      if (d > best_dist) {
+        best_dist = d;
+        best = n;
+      }
+    }
+    if (best == net::kInvalidNode) {
+      // Disconnected mesh (or fewer nodes than zones): BFS growth cannot
+      // reach everything, so fall back to deterministic id chunks.
+      return assign_chunks(nodes, zones);
+    }
+    seeds.push_back(best);
+  }
+
+  // Round-robin lockstep growth: each zone claims one node per turn from
+  // its BFS frontier, so zone sizes stay within one claim of each other and
+  // every zone is connected (each claim is adjacent to a claimed node).
+  std::vector<int> zone_of(static_cast<std::size_t>(nodes), -1);
+  std::vector<std::deque<net::NodeId>> frontier(static_cast<std::size_t>(zones));
+  int claimed = 0;
+  for (int z = 0; z < zones; ++z) {
+    zone_of[static_cast<std::size_t>(seeds[static_cast<std::size_t>(z)])] = z;
+    ++claimed;
+    for (const net::NodeId m : adj[static_cast<std::size_t>(seeds[static_cast<std::size_t>(z)])]) {
+      frontier[static_cast<std::size_t>(z)].push_back(m);
+    }
+  }
+  while (claimed < nodes) {
+    bool progress = false;
+    for (int z = 0; z < zones && claimed < nodes; ++z) {
+      auto& queue = frontier[static_cast<std::size_t>(z)];
+      while (!queue.empty()) {
+        const net::NodeId n = queue.front();
+        queue.pop_front();
+        if (zone_of[static_cast<std::size_t>(n)] != -1) continue;
+        zone_of[static_cast<std::size_t>(n)] = z;
+        ++claimed;
+        progress = true;
+        for (const net::NodeId m : adj[static_cast<std::size_t>(n)]) {
+          if (zone_of[static_cast<std::size_t>(m)] == -1) queue.push_back(m);
+        }
+        break;  // one claim per zone per turn keeps sizes balanced
+      }
+    }
+    if (!progress) {
+      // Unreachable leftovers (disconnected mesh): chunk the stragglers.
+      for (net::NodeId n = 0; n < nodes; ++n) {
+        if (zone_of[static_cast<std::size_t>(n)] == -1) {
+          zone_of[static_cast<std::size_t>(n)] = n % zones;
+        }
+      }
+      break;
+    }
+  }
+  return zone_of;
+}
+
+}  // namespace
+
+Partition ZonePartitioner::partition(const net::Topology& topo) const {
+  Partition out;
+  const int nodes = topo.node_count();
+  out.zones = std::min(zones_, std::max(nodes, 1));
+  if (nodes == 0) {
+    out.zones = 0;
+    return out;
+  }
+  if (out.zones <= 1) {
+    out.zones = 1;
+    out.zone_of.assign(static_cast<std::size_t>(nodes), 0);
+  } else if (method_ == PartitionMethod::kChunks) {
+    out.zone_of = assign_chunks(nodes, out.zones);
+  } else {
+    out.zone_of = assign_bfs(adjacency(topo), out.zones);
+  }
+
+  out.members.resize(static_cast<std::size_t>(out.zones));
+  for (net::NodeId n = 0; n < nodes; ++n) {
+    out.members[static_cast<std::size_t>(out.zone_of[static_cast<std::size_t>(n)])]
+        .push_back(n);
+  }
+  for (net::LinkId l = 0; l < topo.link_count(); ++l) {
+    const net::Link& link = topo.link(l);
+    if (out.zone_of[static_cast<std::size_t>(link.src)] !=
+        out.zone_of[static_cast<std::size_t>(link.dst)]) {
+      out.border_links.push_back(l);
+    }
+  }
+  return out;
+}
+
+}  // namespace bass::zone

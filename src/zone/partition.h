@@ -1,0 +1,50 @@
+// Spatial partitioning of a mesh topology into zones. A partition assigns
+// every node to exactly one zone and names the directed links whose
+// endpoints land in different zones — the border set the sharded
+// orchestrator reconciles across. Partitioning is pure and deterministic:
+// same topology + same config => same assignment, which the byte-identical
+// journal contract depends on.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace bass::zone {
+
+enum class PartitionMethod {
+  // Multi-source BFS from farthest-point seeds, growing all zones in
+  // round-robin lockstep: zones come out connected and near-balanced on any
+  // connected mesh. Falls back to kChunks when the mesh is disconnected.
+  kBfsBalanced,
+  // Equal contiguous NodeId ranges. On generator topologies with contiguous
+  // per-block ids (topo::CityGridGenerator) the chunks line up with city
+  // blocks; on arbitrary id assignments zones may be disconnected.
+  kChunks,
+};
+
+struct Partition {
+  int zones = 0;
+  std::vector<int> zone_of;                       // indexed by NodeId
+  std::vector<std::vector<net::NodeId>> members;  // per zone, ascending ids
+  std::vector<net::LinkId> border_links;          // directed, ascending ids
+};
+
+class ZonePartitioner {
+ public:
+  explicit ZonePartitioner(int zones,
+                           PartitionMethod method = PartitionMethod::kBfsBalanced)
+      : zones_(zones < 1 ? 1 : zones), method_(method) {}
+
+  int zones() const { return zones_; }
+  PartitionMethod method() const { return method_; }
+
+  // Zone count is clamped to the node count; empty zones never occur.
+  Partition partition(const net::Topology& topo) const;
+
+ private:
+  int zones_;
+  PartitionMethod method_;
+};
+
+}  // namespace bass::zone

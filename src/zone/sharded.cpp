@@ -1,0 +1,663 @@
+#include "zone/sharded.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+
+#include "util/strings.h"
+
+namespace bass::zone {
+namespace {
+
+util::Error err(const std::string& message) { return util::make_error(message); }
+
+// Imposed border rates are integer bps; llround jitter of a single bit per
+// second must not count as "the fixpoint moved" or steady state would
+// re-settle every round.
+constexpr net::Bps kRateEpsBps = 1;
+
+// Distinct per-zone churn seeds derived from the scenario seed: the golden
+// ratio stride keeps them far apart for any zone count while staying a pure
+// function of (seed, zone) — replays and --jobs variations see identical
+// schedules.
+std::uint64_t zone_seed(std::uint64_t base, int zone) {
+  return base + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(zone + 1);
+}
+
+}  // namespace
+
+ShardedOrchestrator::~ShardedOrchestrator() = default;
+
+util::Expected<std::unique_ptr<ShardedOrchestrator>> ShardedOrchestrator::create(
+    ShardedBuild build, std::size_t jobs) {
+  if (build.topology.node_count() == 0) {
+    return err("zones: topology has no nodes");
+  }
+  auto s = std::unique_ptr<ShardedOrchestrator>(new ShardedOrchestrator());
+  s->cfg_ = build.zones;
+  s->duration_ = build.duration;
+  const sim::Duration interval = std::max<sim::Duration>(s->cfg_.round_interval, 1);
+  s->cfg_.round_interval = interval;
+  s->rounds_total_ = static_cast<int>(
+      std::max<sim::Duration>(1, (build.duration + interval - 1) / interval));
+
+  ZonePartitioner partitioner(s->cfg_.count, s->cfg_.method);
+  s->partition_ = partitioner.partition(build.topology);
+
+  const std::size_t links = static_cast<std::size_t>(build.topology.link_count());
+  s->link_owners_.assign(links, {});
+  s->recon_caps_.assign(links, 0.0);
+  s->caps_stamp_.assign(links, 0);
+
+  for (int z = 0; z < s->partition_.zones; ++z) {
+    s->worlds_.push_back(std::make_unique<World>(build.recorder));
+    s->worlds_.back()->zone = z;
+    s->build_world(*s->worlds_.back(), build);
+  }
+  s->setup_transit(build);
+
+  std::size_t workers = jobs;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers = std::min<std::size_t>(workers, s->worlds_.size());
+  if (workers > 1) s->pool_ = std::make_unique<exec::Pool>(workers);
+  return s;
+}
+
+util::Expected<std::unique_ptr<ShardedOrchestrator>> ShardedOrchestrator::from_ini(
+    const util::IniFile& ini, std::size_t jobs) {
+  const auto* zsec = ini.first_of_kind("zones");
+  if (zsec == nullptr) return err("scenario has no [zones] section");
+  if (ini.first_of_kind("serve") == nullptr) {
+    return err("sharded orchestration requires a [serve] section");
+  }
+
+  ShardedBuild build;
+  build.duration = scenario::parse_run_duration(ini);
+
+  auto topo = scenario::build_topology(ini);
+  if (!topo.ok()) return err(topo.error());
+  scenario::TopologySpec spec = topo.take();
+  build.topology = std::move(spec.topology);
+  build.specs = std::move(spec.specs);
+
+  auto serve = scenario::parse_serve_config(ini, build.duration);
+  if (!serve.ok()) return err(serve.error());
+  build.serve = serve.take();
+
+  build.zones.count = static_cast<int>(zsec->number_or("count", 2));
+  if (build.zones.count < 1) return err("[zones]: count must be >= 1");
+  const std::string method = zsec->get_or("method", "bfs");
+  if (method == "chunks") {
+    build.zones.method = PartitionMethod::kChunks;
+  } else if (method == "bfs") {
+    build.zones.method = PartitionMethod::kBfsBalanced;
+  } else {
+    return err("[zones]: unknown method '" + method + "' (bfs | chunks)");
+  }
+  build.zones.round_interval =
+      sim::seconds_f(zsec->number_or("round_interval_s", 10));
+  build.zones.transit_per_border =
+      static_cast<int>(zsec->number_or("transit_per_border", 1));
+  build.zones.transit_bps =
+      static_cast<net::Bps>(zsec->number_or("transit_mbps", 2.0) * 1e6);
+  build.zones.max_reconcile_iterations =
+      static_cast<int>(zsec->number_or("max_reconcile_iterations", 4));
+
+  const auto* mon = ini.first_of_kind("monitor");
+  build.monitor_enabled = mon == nullptr || mon->flag_or("enabled", true);
+  if (mon != nullptr) {
+    build.monitor.probe_interval =
+        sim::seconds_f(mon->number_or("probe_interval_s", 30));
+    build.monitor.headroom_frac = mon->number_or("headroom_frac", 0.10);
+  }
+  const auto* inv = ini.first_of_kind("invariants");
+  build.invariants_enabled = inv == nullptr || inv->flag_or("enabled", true);
+  if (const auto* mig = ini.first_of_kind("migration")) {
+    build.orch.restart_duration = sim::seconds_f(mig->number_or("restart_s", 10.0));
+  }
+  if (const auto* obs_sec = ini.first_of_kind("obs")) {
+    build.recorder.enabled = obs_sec->flag_or("enabled", true);
+    build.recorder.journal_capacity = static_cast<std::size_t>(obs_sec->number_or(
+        "journal_capacity", static_cast<double>(build.recorder.journal_capacity)));
+  }
+  return create(std::move(build), jobs);
+}
+
+void ShardedOrchestrator::build_world(World& w, const ShardedBuild& build) {
+  const net::Topology& topo = build.topology;
+  const std::vector<net::NodeId>& members =
+      partition_.members[static_cast<std::size_t>(w.zone)];
+
+  // Interior nodes first (ascending global id), then the one-hop halo:
+  // remote endpoints of border links touching this zone.
+  w.global_to_local.assign(static_cast<std::size_t>(topo.node_count()),
+                           net::kInvalidNode);
+  w.local_to_global = members;
+  w.interior_count = static_cast<int>(members.size());
+  std::vector<net::NodeId> halo;
+  for (const net::LinkId gl : partition_.border_links) {
+    const net::Link& link = topo.link(gl);
+    if (partition_.zone_of[static_cast<std::size_t>(link.src)] == w.zone) {
+      halo.push_back(link.dst);
+    } else if (partition_.zone_of[static_cast<std::size_t>(link.dst)] == w.zone) {
+      halo.push_back(link.src);
+    }
+  }
+  std::sort(halo.begin(), halo.end());
+  halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
+  w.local_to_global.insert(w.local_to_global.end(), halo.begin(), halo.end());
+  for (std::size_t i = 0; i < w.local_to_global.size(); ++i) {
+    w.global_to_local[static_cast<std::size_t>(w.local_to_global[i])] =
+        static_cast<net::NodeId>(i);
+  }
+
+  net::Topology local;
+  for (const net::NodeId g : w.local_to_global) local.add_node(topo.node_name(g));
+
+  // Local links: every global link with both endpoints present and at least
+  // one interior. Halo-halo links stay out — halo nodes exist only to
+  // terminate border paths, not to route foreign traffic through the zone.
+  // Iterate the src < dst direction of each pair once; the paired reverse
+  // link carries the opposite direction's capacity.
+  for (net::LinkId gl = 0; gl < topo.link_count(); ++gl) {
+    const net::Link& link = topo.link(gl);
+    if (link.src >= link.dst) continue;
+    const net::NodeId la = w.global_to_local[static_cast<std::size_t>(link.src)];
+    const net::NodeId lb = w.global_to_local[static_cast<std::size_t>(link.dst)];
+    if (la == net::kInvalidNode || lb == net::kInvalidNode) continue;
+    if (la >= w.interior_count && lb >= w.interior_count) continue;
+    const auto rev = topo.link_between(link.dst, link.src);
+    const net::Bps cap_ba = rev ? topo.link(*rev).capacity : link.capacity;
+    const auto [ab, ba] = local.add_link(la, lb, link.capacity, cap_ba);
+    w.link_to_global.resize(static_cast<std::size_t>(local.link_count()),
+                            net::kInvalidLink);
+    w.link_to_global[static_cast<std::size_t>(ab)] = gl;
+    if (rev) w.link_to_global[static_cast<std::size_t>(ba)] = *rev;
+    auto claim = [&](net::LinkId global, net::LinkId local_id) {
+      for (LinkOwner& owner : link_owners_[static_cast<std::size_t>(global)]) {
+        if (owner.zone == -1) {
+          owner = {w.zone, local_id};
+          return;
+        }
+      }
+    };
+    claim(gl, ab);
+    if (rev) claim(*rev, ba);
+  }
+
+  for (std::size_t i = 0; i < w.local_to_global.size(); ++i) {
+    cluster::NodeSpec spec;
+    if (static_cast<int>(i) < w.interior_count) {
+      spec = build.specs[static_cast<std::size_t>(w.local_to_global[i])];
+    } else {
+      spec.cpu_milli = 0;
+      spec.memory_mb = 0;
+      spec.schedulable = false;  // halo nodes never host components
+    }
+    w.cluster.add_node(static_cast<net::NodeId>(i), spec);
+  }
+
+  w.network = std::make_unique<net::Network>(w.sim, std::move(local));
+  w.network->set_recorder(&w.recorder);
+  w.transit_load.assign(static_cast<std::size_t>(topo.link_count()), 0.0);
+
+  w.orch = std::make_unique<core::Orchestrator>(w.sim, *w.network, w.cluster,
+                                                build.orch);
+  w.orch->set_recorder(&w.recorder);
+  if (build.monitor_enabled) {
+    w.monitor = std::make_unique<monitor::NetMonitor>(*w.network, build.monitor);
+    w.monitor->set_recorder(&w.recorder);
+    w.orch->attach_monitor(w.monitor.get());
+  }
+  if (build.invariants_enabled) {
+    w.invariants = std::make_unique<fault::Invariants>(*w.orch, &w.recorder);
+    w.invariants->attach();
+  }
+  if (build.serving) {
+    scenario::ServeConfig cfg = build.serve;
+    cfg.churn.seed = zone_seed(build.serve.churn.seed, w.zone);
+    cfg.churn.arrival_per_min =
+        build.serve.churn.arrival_per_min / partition_.zones;
+    cfg.churn.duration = build.duration;
+    w.serving = std::make_unique<scenario::ServingLoop>(*w.orch, cfg,
+                                                        w.monitor.get());
+    w.serving->set_recorder(&w.recorder);
+  }
+}
+
+void ShardedOrchestrator::setup_transit(const ShardedBuild& build) {
+  if (cfg_.transit_per_border <= 0 || partition_.zones < 2) return;
+  const net::Topology& topo = build.topology;
+  int seq = 0;
+  for (const net::LinkId gl : partition_.border_links) {
+    const net::Link& link = topo.link(gl);
+    const int za = partition_.zone_of[static_cast<std::size_t>(link.src)];
+    const int zb = partition_.zone_of[static_cast<std::size_t>(link.dst)];
+    World& a = *worlds_[static_cast<std::size_t>(za)];
+    World& b = *worlds_[static_cast<std::size_t>(zb)];
+    for (int k = 0; k < cfg_.transit_per_border; ++k, ++seq) {
+      TransitFlow f;
+      f.zone_a = za;
+      f.zone_b = zb;
+      f.demand = cfg_.transit_bps;
+      // Rotate the intra-zone endpoints across members so transit couples
+      // to different parts of each zone, not always the border router.
+      f.a_src = static_cast<net::NodeId>((seq * 7) % a.interior_count);
+      f.a_dst = a.global_to_local[static_cast<std::size_t>(link.dst)];
+      f.b_src = b.global_to_local[static_cast<std::size_t>(link.src)];
+      f.b_dst = static_cast<net::NodeId>((seq * 7 + 3) % b.interior_count);
+
+      const auto map_path = [this](World& w, net::NodeId src, net::NodeId dst,
+                                   std::vector<net::LinkId>& out) {
+        out.clear();
+        if (src == dst) return true;
+        const std::vector<net::LinkId>& path = w.network->routing().path(src, dst);
+        if (path.empty()) return false;
+        for (const net::LinkId ll : path) {
+          const net::LinkId g = w.link_to_global[static_cast<std::size_t>(ll)];
+          if (g == net::kInvalidLink) return false;
+          out.push_back(g);
+        }
+        return true;
+      };
+      if (!map_path(a, f.a_src, f.a_dst, f.a_path) ||
+          !map_path(b, f.b_src, f.b_dst, f.b_path)) {
+        ++skipped_transit_;
+        continue;
+      }
+      f.union_links = f.a_path;
+      f.union_links.insert(f.union_links.end(), f.b_path.begin(), f.b_path.end());
+      std::sort(f.union_links.begin(), f.union_links.end());
+      f.union_links.erase(
+          std::unique(f.union_links.begin(), f.union_links.end()),
+          f.union_links.end());
+      ++a.border_halves;
+      ++b.border_halves;
+      transit_.push_back(std::move(f));
+    }
+  }
+}
+
+void ShardedOrchestrator::advance_all(sim::Time deadline, bool timed) {
+  const auto task = [deadline, timed](World& w) {
+    obs::ScopedGlobalRecorder guard(&w.recorder);
+    const auto t0 = std::chrono::steady_clock::now();
+    w.sim.run_until(deadline);
+    if (timed) {
+      w.round_wall_us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    }
+  };
+  if (pool_) {
+    for (auto& w : worlds_) {
+      World* wp = w.get();
+      pool_->submit([task, wp] { task(*wp); });
+    }
+    pool_->wait();
+  } else {
+    for (auto& w : worlds_) task(*w);
+  }
+}
+
+void ShardedOrchestrator::start() {
+  if (started_) return;
+  started_ = true;
+
+  // Warmup mirrors Scenario::from_ini: monitors pre-probe for two sim
+  // seconds so schedulers see measured capacities before the first round.
+  for (auto& w : worlds_) {
+    if (w->monitor) {
+      obs::ScopedGlobalRecorder guard(&w->recorder);
+      w->monitor->start();
+    }
+  }
+  advance_all(sim::seconds(2), false);
+  base_ = sim::seconds(2);
+
+  // Border transit comes up at the end of warmup, serially in border-link
+  // order — every run (any --jobs) opens the same streams in the same
+  // order. One batch per zone: opening T streams individually re-settles
+  // the shared contention component each time (O(T^2) flow touches);
+  // batched, each zone settles once.
+  {
+    std::vector<std::unique_ptr<net::Network::BatchUpdate>> batches(
+        worlds_.size());
+    for (TransitFlow& f : transit_) {
+      World& a = *worlds_[static_cast<std::size_t>(f.zone_a)];
+      World& b = *worlds_[static_cast<std::size_t>(f.zone_b)];
+      if (!batches[static_cast<std::size_t>(f.zone_a)]) {
+        batches[static_cast<std::size_t>(f.zone_a)] =
+            std::make_unique<net::Network::BatchUpdate>(*a.network);
+      }
+      if (!batches[static_cast<std::size_t>(f.zone_b)]) {
+        batches[static_cast<std::size_t>(f.zone_b)] =
+            std::make_unique<net::Network::BatchUpdate>(*b.network);
+      }
+      {
+        obs::ScopedGlobalRecorder guard(&a.recorder);
+        f.a_stream = a.network->open_stream(f.a_src, f.a_dst, f.demand);
+      }
+      {
+        obs::ScopedGlobalRecorder guard(&b.recorder);
+        f.b_stream = b.network->open_stream(f.b_src, f.b_dst, f.demand);
+      }
+      f.imposed_a = f.demand;
+      f.imposed_b = f.demand;
+    }
+    for (std::size_t z = 0; z < worlds_.size(); ++z) {
+      if (!batches[z]) continue;
+      obs::ScopedGlobalRecorder guard(&worlds_[z]->recorder);
+      batches[z].reset();  // settle this zone once
+    }
+  }
+
+  for (auto& w : worlds_) {
+    if (w->serving) {
+      obs::ScopedGlobalRecorder guard(&w->recorder);
+      w->serving->start();
+    }
+  }
+}
+
+int ShardedOrchestrator::reconcile() {
+  if (transit_.empty()) return 0;
+  int changed_iterations = 0;
+  std::vector<net::AllocEntityRef> entities;
+  entities.reserve(transit_.size());
+  for (const TransitFlow& f : transit_) {
+    entities.push_back({static_cast<double>(f.demand), &f.union_links});
+  }
+
+  for (int pass = 0; pass < cfg_.max_reconcile_iterations; ++pass) {
+    // Transit load per world per global link, from the halves' current
+    // zone-allocated rates.
+    for (auto& w : worlds_) {
+      for (const net::LinkId gl : w->transit_touched) {
+        w->transit_load[static_cast<std::size_t>(gl)] = 0.0;
+      }
+      w->transit_touched.clear();
+    }
+    const auto add_load = [](World& w, const std::vector<net::LinkId>& path,
+                             double rate) {
+      for (const net::LinkId gl : path) {
+        if (w.transit_load[static_cast<std::size_t>(gl)] == 0.0) {
+          w.transit_touched.push_back(gl);
+        }
+        w.transit_load[static_cast<std::size_t>(gl)] += rate;
+      }
+    };
+    for (const TransitFlow& f : transit_) {
+      World& a = *worlds_[static_cast<std::size_t>(f.zone_a)];
+      World& b = *worlds_[static_cast<std::size_t>(f.zone_b)];
+      add_load(a, f.a_path, static_cast<double>(a.network->stream_rate(f.a_stream)));
+      add_load(b, f.b_path, static_cast<double>(b.network->stream_rate(f.b_stream)));
+    }
+
+    // Residual capacity for border traffic on every link the flows cross:
+    // what the owning worlds' non-transit allocations leave over, min
+    // across owners (border links are owned by both touching zones).
+    ++stamp_;
+    for (const TransitFlow& f : transit_) {
+      for (const net::LinkId gl : f.union_links) {
+        if (caps_stamp_[static_cast<std::size_t>(gl)] == stamp_) continue;
+        caps_stamp_[static_cast<std::size_t>(gl)] = stamp_;
+        double residual = std::numeric_limits<double>::max();
+        for (const LinkOwner& owner : link_owners_[static_cast<std::size_t>(gl)]) {
+          if (owner.zone == -1) continue;
+          World& w = *worlds_[static_cast<std::size_t>(owner.zone)];
+          const double non_transit =
+              static_cast<double>(w.network->link_allocated(owner.local)) -
+              w.transit_load[static_cast<std::size_t>(gl)];
+          const double avail =
+              static_cast<double>(w.network->link_capacity(owner.local)) -
+              non_transit;
+          residual = std::min(residual, avail);
+        }
+        recon_caps_[static_cast<std::size_t>(gl)] = std::max(residual, 0.0);
+      }
+    }
+
+    const std::vector<double>& rates = border_solver_.solve(recon_caps_, entities);
+
+    // Impose the union-solve as demand caps on both halves; each zone
+    // settles once per pass via a batch update.
+    std::vector<std::unique_ptr<net::Network::BatchUpdate>> batches(worlds_.size());
+    const auto batch_for = [&](int zone) -> void {
+      if (!batches[static_cast<std::size_t>(zone)]) {
+        batches[static_cast<std::size_t>(zone)] =
+            std::make_unique<net::Network::BatchUpdate>(
+                *worlds_[static_cast<std::size_t>(zone)]->network);
+      }
+    };
+    bool changed = false;
+    for (std::size_t i = 0; i < transit_.size(); ++i) {
+      TransitFlow& f = transit_[i];
+      const net::Bps target = std::clamp<net::Bps>(
+          static_cast<net::Bps>(std::llround(rates[i])), 0, f.demand);
+      if (std::llabs(target - f.imposed_a) > kRateEpsBps) {
+        batch_for(f.zone_a);
+        obs::ScopedGlobalRecorder guard(
+            &worlds_[static_cast<std::size_t>(f.zone_a)]->recorder);
+        worlds_[static_cast<std::size_t>(f.zone_a)]->network->set_stream_demand(
+            f.a_stream, target);
+        f.imposed_a = target;
+        changed = true;
+      }
+      if (std::llabs(target - f.imposed_b) > kRateEpsBps) {
+        batch_for(f.zone_b);
+        obs::ScopedGlobalRecorder guard(
+            &worlds_[static_cast<std::size_t>(f.zone_b)]->recorder);
+        worlds_[static_cast<std::size_t>(f.zone_b)]->network->set_stream_demand(
+            f.b_stream, target);
+        f.imposed_b = target;
+        changed = true;
+      }
+    }
+    batches.clear();  // settle all touched zones
+    if (!changed) break;
+    ++changed_iterations;
+  }
+  return changed_iterations;
+}
+
+void ShardedOrchestrator::run_round() {
+  if (!started_) start();
+  const int r = round_;
+  const sim::Time deadline =
+      base_ + static_cast<sim::Time>(r + 1) * cfg_.round_interval;
+  advance_all(deadline, true);
+  const int iterations = reconcile();
+  reconcile_total_ += iterations;
+  ++round_;
+
+  // Coordinator journal + metrics, serially — deterministic regardless of
+  // worker count. The summary span parents the per-zone records.
+  int total_flows = 0;
+  int total_halves = 0;
+  for (const auto& w : worlds_) {
+    total_flows += static_cast<int>(w->network->stream_count());
+    total_halves += w->border_halves;
+  }
+  obs::ZoneRound summary;
+  summary.at = deadline;
+  summary.zone = -1;
+  summary.round = r;
+  summary.flows = total_flows;
+  summary.border_streams = total_halves;
+  summary.recon_iterations = iterations;
+  summary.span = coordinator_.new_span();
+  coordinator_.record(obs::Event{summary});
+
+  obs::MetricsRegistry& metrics = coordinator_.metrics();
+  metrics.counter("zone.rounds").inc();
+  metrics.counter("zone.reconcile_iterations").add(iterations);
+  for (const auto& w : worlds_) {
+    const obs::Labels labels{{"zone", std::to_string(w->zone)}};
+    obs::ZoneRound zr;
+    zr.at = deadline;
+    zr.zone = w->zone;
+    zr.round = r;
+    zr.flows = static_cast<int>(w->network->stream_count());
+    zr.border_streams = w->border_halves;
+    zr.recon_iterations = iterations;
+    zr.span = coordinator_.new_span();
+    zr.parent = summary.span;
+    coordinator_.record(obs::Event{zr});
+    metrics.log_timer_us("zone.round_wall_us", labels).observe(w->round_wall_us);
+    metrics.gauge("zone.border_streams", labels)
+        .set(static_cast<double>(w->border_halves));
+    metrics.gauge("zone.flows", labels).set(static_cast<double>(zr.flows));
+  }
+}
+
+void ShardedOrchestrator::finish() {
+  if (finished_) return;
+  if (!started_) start();
+  finished_ = true;
+
+  // Drain mirrors Scenario::run(): two extra sim-minutes with the serving
+  // loops live so in-flight admissions and migrations resolve.
+  const sim::Time end =
+      base_ + static_cast<sim::Time>(round_) * cfg_.round_interval;
+  advance_all(end + sim::minutes(2), false);
+
+  report_ = ShardedReport{};
+  for (auto& w : worlds_) {
+    obs::ScopedGlobalRecorder guard(&w->recorder);
+    if (w->serving) w->serving->stop();
+    if (w->monitor) w->monitor->stop();
+    if (w->invariants) w->invariants->check_now();
+  }
+
+  // Fold every zone's instruments into the coordinator registry under an
+  // added {zone} label, so one metrics snapshot covers the whole city.
+  obs::MetricsRegistry& dst = coordinator_.metrics();
+  for (auto& w : worlds_) {
+    const std::string zone_label = std::to_string(w->zone);
+    const auto relabel = [&zone_label](const obs::Labels& labels) {
+      obs::Labels out = labels;
+      out.emplace_back("zone", zone_label);
+      return out;
+    };
+    const obs::MetricsRegistry& src = w->recorder.metrics();
+    src.for_each_counter([&](const std::string& name, const obs::Labels& labels,
+                             const obs::Counter& c) {
+      dst.counter(name, relabel(labels)).add(c.value());
+    });
+    src.for_each_gauge([&](const std::string& name, const obs::Labels& labels,
+                           const obs::Gauge& g) {
+      dst.gauge(name, relabel(labels)).set(g.value());
+    });
+    src.for_each_log_histogram([&](const std::string& name,
+                                   const obs::Labels& labels,
+                                   const obs::LogHistogram& h) {
+      dst.log_histogram(name, relabel(labels)).merge(h);
+    });
+  }
+
+  for (auto& w : worlds_) {
+    if (w->serving) {
+      const scenario::ServeStats& ss = w->serving->stats();
+      const core::AdmissionStats& as = w->serving->admission_stats();
+      report_.serve_arrivals += ss.arrivals;
+      report_.serve_departures += ss.departures;
+      report_.serve_admitted += as.admitted;
+      report_.serve_rejected += as.rejected;
+      report_.serve_deferred += as.deferred;
+      report_.serve_cancelled += as.cancelled;
+      report_.serve_peak_queue_depth =
+          std::max(report_.serve_peak_queue_depth, as.peak_depth);
+      report_.serve_live_at_end += ss.live_at_end;
+    }
+    report_.migrations += w->orch->migration_events().size();
+    if (w->invariants) report_.invariant_violations += w->invariants->violations();
+  }
+  report_.rounds = round_;
+  report_.reconcile_iterations = reconcile_total_;
+  report_.border_links = partition_.border_links.size();
+  report_.transit_streams = transit_.size();
+}
+
+ShardedReport ShardedOrchestrator::run() {
+  start();
+  while (round_ < rounds_total_) run_round();
+  finish();
+  return report_;
+}
+
+core::Orchestrator& ShardedOrchestrator::zone_orchestrator(int z) {
+  return *worlds_[static_cast<std::size_t>(z)]->orch;
+}
+
+net::Network& ShardedOrchestrator::zone_network(int z) {
+  return *worlds_[static_cast<std::size_t>(z)]->network;
+}
+
+obs::Recorder& ShardedOrchestrator::zone_recorder(int z) {
+  return worlds_[static_cast<std::size_t>(z)]->recorder;
+}
+
+scenario::ServingLoop* ShardedOrchestrator::zone_serving(int z) {
+  return worlds_[static_cast<std::size_t>(z)]->serving.get();
+}
+
+net::NodeId ShardedOrchestrator::local_node(int z, net::NodeId global) const {
+  const World& w = *worlds_[static_cast<std::size_t>(z)];
+  if (global < 0 ||
+      global >= static_cast<net::NodeId>(w.global_to_local.size())) {
+    return net::kInvalidNode;
+  }
+  return w.global_to_local[static_cast<std::size_t>(global)];
+}
+
+net::NodeId ShardedOrchestrator::global_node(int z, net::NodeId local) const {
+  const World& w = *worlds_[static_cast<std::size_t>(z)];
+  if (local < 0 || local >= static_cast<net::NodeId>(w.local_to_global.size())) {
+    return net::kInvalidNode;
+  }
+  return w.local_to_global[static_cast<std::size_t>(local)];
+}
+
+std::string ShardedOrchestrator::merged_journal() {
+  // Zone lines (annotated with their zone) in zone order, coordinator lines
+  // last; a stable sort on t_us alone then interleaves them while
+  // preserving that source order for ties. Every input is deterministic,
+  // so the merged journal is too — across runs and across --jobs counts.
+  std::vector<std::pair<long long, std::string>> lines;
+  const auto add_lines = [&lines](const std::string& jsonl, int zone) {
+    std::size_t start = 0;
+    while (start < jsonl.size()) {
+      std::size_t end = jsonl.find('\n', start);
+      if (end == std::string::npos) end = jsonl.size();
+      std::string line = jsonl.substr(start, end - start);
+      start = end + 1;
+      if (line.empty()) continue;
+      const long long t = std::strtoll(line.c_str() + 8, nullptr, 10);
+      if (zone >= 0 && !line.empty() && line.back() == '}') {
+        line.pop_back();
+        line += util::str_format(",\"zone\":%d}", zone);
+      }
+      lines.emplace_back(t, std::move(line));
+    }
+  };
+  for (auto& w : worlds_) {
+    add_lines(w->recorder.journal().to_jsonl(), w->zone);
+  }
+  add_lines(coordinator_.journal().to_jsonl(), -1);
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out;
+  for (auto& [t, line] : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bass::zone

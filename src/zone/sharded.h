@@ -1,0 +1,222 @@
+// Sharded orchestration: one Orchestrator/MaxMinSolver/ServingLoop per
+// zone, each in its own simulation world over a zone-local slice of the
+// mesh (zone members plus a one-hop halo of border endpoints), with a
+// deterministic border reconciliation pass between rounds.
+//
+// Scaling argument: the unsharded path carries O(n^2) routing state and
+// every control-plane pass (placement, rebalance, probing) walks the whole
+// mesh. A zone world is ~n/z nodes, so per-zone routing is O((n/z)^2) and
+// control passes shrink by z — near-linear round-time scaling in zone
+// count, independent of worker threads. Worker threads (exec::Pool) then
+// overlap zone rounds on top.
+//
+// Determinism contract: zone worlds are fully isolated (own Simulation,
+// own Recorder, seeds derived from the zone index), reconciliation runs
+// serially on the coordinator after the round barrier, and the merged
+// journal is a stable sort by timestamp over per-zone journals in zone
+// order — so same seed + any --jobs value => byte-identical journals.
+//
+// Reconciliation (DESIGN.md §11): intra-zone flows never leave their
+// world — their allocations are reused untouched. Border (transit) flows
+// exist as two stream halves, one per touching world. Each pass rebuilds
+// the residual capacity of every link the border flows cross (capacity
+// minus non-transit allocation, min over the owning worlds), re-solves all
+// border flows max-min fair against the union of their touching zones'
+// links with one shared solver, and imposes the solved rates back on both
+// halves as demand caps. Passes repeat until no rate moves (steady state:
+// zero passes change anything; a capacity shift settles in one).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/orchestrator.h"
+#include "exec/pool.h"
+#include "fault/invariants.h"
+#include "monitor/net_monitor.h"
+#include "net/maxmin.h"
+#include "net/network.h"
+#include "obs/recorder.h"
+#include "scenario/scenario.h"
+#include "scenario/serving.h"
+#include "sim/simulation.h"
+#include "util/expected.h"
+#include "util/ini.h"
+#include "zone/partition.h"
+
+namespace bass::zone {
+
+struct ZonesConfig {
+  int count = 2;
+  PartitionMethod method = PartitionMethod::kBfsBalanced;
+  sim::Duration round_interval = sim::seconds(10);
+  int max_reconcile_iterations = 4;
+  // Synthetic cross-zone transit: flows per directed border link, each
+  // demanding transit_bps. 0 decouples zones entirely (no reconciliation).
+  int transit_per_border = 1;
+  net::Bps transit_bps = net::mbps(2);
+};
+
+// Everything needed to stand up a sharded world; from_ini() fills it from
+// the same scenario file the unsharded path reads ([zones] + [topology] /
+// [node] + [serve] + [monitor]/[invariants]/[migration]/[obs]/[run]).
+struct ShardedBuild {
+  net::Topology topology;
+  std::vector<cluster::NodeSpec> specs;  // indexed by NodeId
+  ZonesConfig zones;
+  bool serving = true;
+  scenario::ServeConfig serve;
+  sim::Duration duration = sim::minutes(10);
+  bool monitor_enabled = true;
+  monitor::MonitorConfig monitor;
+  bool invariants_enabled = true;
+  core::OrchestratorConfig orch;
+  obs::RecorderConfig recorder;
+};
+
+struct ShardedReport {
+  // Aggregated over zones (serving builds only):
+  std::int64_t serve_arrivals = 0;
+  std::int64_t serve_departures = 0;
+  std::int64_t serve_admitted = 0;
+  std::int64_t serve_rejected = 0;
+  std::int64_t serve_deferred = 0;
+  std::int64_t serve_cancelled = 0;
+  int serve_peak_queue_depth = 0;  // max over zones
+  int serve_live_at_end = 0;
+  std::size_t migrations = 0;
+  int invariant_violations = 0;
+  // Sharding:
+  int rounds = 0;
+  std::int64_t reconcile_iterations = 0;  // passes that changed a rate
+  std::size_t border_links = 0;           // directed global border links
+  std::size_t transit_streams = 0;        // border flows actually routed
+};
+
+class ShardedOrchestrator {
+ public:
+  // `jobs` is the worker count for zone rounds: 0 => one thread per zone
+  // (capped at the zone count), 1 => run rounds inline.
+  static util::Expected<std::unique_ptr<ShardedOrchestrator>> create(
+      ShardedBuild build, std::size_t jobs);
+  static util::Expected<std::unique_ptr<ShardedOrchestrator>> from_ini(
+      const util::IniFile& ini, std::size_t jobs);
+
+  ~ShardedOrchestrator();
+
+  // start() warms every world up (monitor pre-probe window, transit
+  // streams, serving loops); run_round() advances all zones one interval
+  // and reconciles; finish() drains, stops, folds per-zone metrics into the
+  // coordinator registry, and builds the report. run() does all of it.
+  void start();
+  void run_round();
+  void finish();
+  ShardedReport run();
+
+  int zones() const { return static_cast<int>(worlds_.size()); }
+  sim::Time now() const { return worlds_.front()->sim.now(); }
+  int rounds_total() const { return rounds_total_; }
+  int rounds_done() const { return round_; }
+  const Partition& partition() const { return partition_; }
+  const ShardedReport& report() const { return report_; }
+
+  core::Orchestrator& zone_orchestrator(int z);
+  net::Network& zone_network(int z);
+  obs::Recorder& zone_recorder(int z);
+  scenario::ServingLoop* zone_serving(int z);
+  // Global <-> zone-local node id mapping (kInvalidNode when the node is
+  // not in that world). Halo nodes are present but unschedulable.
+  net::NodeId local_node(int z, net::NodeId global) const;
+  net::NodeId global_node(int z, net::NodeId local) const;
+
+  // Coordinator-side observability: the recorder carrying zone_round events
+  // and (after finish()) the folded per-zone metrics under {zone} labels.
+  obs::Recorder& recorder() { return coordinator_; }
+
+  // Per-zone journals annotated with a "zone" field, plus coordinator
+  // events, stable-sorted by t_us. Byte-identical for same seed across any
+  // jobs value. Flushes deferred events, hence non-const.
+  std::string merged_journal();
+
+ private:
+  struct TransitFlow {
+    int zone_a = -1;  // egress world (owns the border link's src)
+    int zone_b = -1;  // ingress world
+    net::StreamId a_stream = 0;
+    net::StreamId b_stream = 0;
+    net::NodeId a_src = net::kInvalidNode;  // local ids
+    net::NodeId a_dst = net::kInvalidNode;
+    net::NodeId b_src = net::kInvalidNode;
+    net::NodeId b_dst = net::kInvalidNode;
+    std::vector<net::LinkId> a_path;      // global link ids of the A half
+    std::vector<net::LinkId> b_path;      // global link ids of the B half
+    std::vector<net::LinkId> union_links; // dedup union of both halves
+    net::Bps demand = 0;
+    net::Bps imposed_a = -1;
+    net::Bps imposed_b = -1;
+  };
+
+  struct World {
+    int zone = -1;
+    obs::Recorder recorder;
+    sim::Simulation sim;
+    cluster::ClusterState cluster;
+    std::unique_ptr<net::Network> network;
+    std::unique_ptr<core::Orchestrator> orch;
+    std::unique_ptr<monitor::NetMonitor> monitor;
+    std::unique_ptr<fault::Invariants> invariants;
+    std::unique_ptr<scenario::ServingLoop> serving;
+    std::vector<net::NodeId> local_to_global;
+    std::vector<net::NodeId> global_to_local;  // kInvalidNode when absent
+    std::vector<net::LinkId> link_to_global;   // local link -> global link
+    int interior_count = 0;  // locals [0, interior_count) are zone members
+    int border_halves = 0;   // transit stream halves living in this world
+    // Reconciliation scratch: transit traffic per *global* link this round.
+    std::vector<double> transit_load;
+    std::vector<net::LinkId> transit_touched;
+    double round_wall_us = 0.0;
+
+    explicit World(const obs::RecorderConfig& rc) : recorder(rc) {}
+  };
+
+  ShardedOrchestrator() : coordinator_(obs::RecorderConfig{}) {}
+
+  void build_world(World& w, const ShardedBuild& build);
+  void setup_transit(const ShardedBuild& build);
+  int reconcile();
+  void advance_all(sim::Time deadline, bool timed);
+
+  Partition partition_;
+  std::vector<std::unique_ptr<World>> worlds_;
+  std::vector<TransitFlow> transit_;
+  // Per global link: the worlds carrying a copy (zone, local id). Interior
+  // links appear once, border links twice, halo-halo links never.
+  struct LinkOwner {
+    int zone = -1;
+    net::LinkId local = net::kInvalidLink;
+  };
+  std::vector<std::array<LinkOwner, 2>> link_owners_;
+
+  obs::Recorder coordinator_;
+  net::MaxMinSolver border_solver_;
+  std::vector<double> recon_caps_;         // indexed by global link id
+  std::vector<std::uint32_t> caps_stamp_;  // per-pass fill guard
+  std::uint32_t stamp_ = 0;
+
+  ZonesConfig cfg_;
+  sim::Duration duration_ = 0;
+  sim::Time base_ = 0;  // sim time when rounds begin (after warmup)
+  int rounds_total_ = 0;
+  int round_ = 0;
+  std::int64_t reconcile_total_ = 0;
+  std::size_t skipped_transit_ = 0;  // border flows with no routable path
+  std::unique_ptr<exec::Pool> pool_;
+  bool started_ = false;
+  bool finished_ = false;
+  ShardedReport report_;
+};
+
+}  // namespace bass::zone

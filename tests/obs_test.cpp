@@ -304,6 +304,75 @@ TEST(Metrics, PrometheusExportCoversEveryKind) {
             std::string::npos);
 }
 
+TEST(Metrics, PrometheusEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.counter("events.weird", {{"path", "a\"b\\c\nd"}}).add(1);
+  const std::string prom = reg.to_prometheus(0);
+  // Prometheus text format: backslash, double-quote, and newline in label
+  // values must come out as \\, \", and \n — a raw newline splits the
+  // sample line and corrupts the whole exposition.
+  EXPECT_NE(prom.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  EXPECT_EQ(prom.find("c\nd"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusSanitizesLabelNames) {
+  MetricsRegistry reg;
+  reg.counter("events.tagged", {{"app-id", "x"}, {"9lives", "y"}}).add(2);
+  const std::string prom = reg.to_prometheus(0);
+  // Label names must match [a-zA-Z_][a-zA-Z0-9_]*: dashes become
+  // underscores and a leading digit gets an underscore prefix.
+  EXPECT_NE(prom.find("app_id=\"x\""), std::string::npos);
+  EXPECT_NE(prom.find("_9lives=\"y\""), std::string::npos);
+  EXPECT_EQ(prom.find("app-id"), std::string::npos);
+}
+
+TEST(Metrics, JsonEscapesControlCharactersInLabels) {
+  MetricsRegistry reg;
+  reg.counter("events.ctl", {{"k", "a\tb\x01"}}).add(1);
+  const std::string path = "/tmp/bass_metrics_escape_test.json";
+  ASSERT_TRUE(reg.write_json(path, 0));
+  std::ifstream in(path);
+  const std::string json((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  EXPECT_NE(json.find("a\\tb\\u0001"), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(Metrics, LabelOrderDoesNotSplitInstruments) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("zone.rounds", {{"zone", "0"}, {"kind", "full"}});
+  Counter& b = reg.counter("zone.rounds", {{"kind", "full"}, {"zone", "0"}});
+  // Same label set in a different order is the same instrument — callers
+  // fold registries from different sources and must not double-register.
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.instrument_count(), 1u);
+}
+
+TEST(Metrics, ForEachCounterAndGaugeVisitEverything) {
+  MetricsRegistry reg;
+  reg.counter("c.one").add(1);
+  reg.counter("c.two", {{"zone", "3"}}).add(2);
+  reg.gauge("g.one").set(1.5);
+  int counters = 0;
+  std::int64_t sum = 0;
+  reg.for_each_counter(
+      [&](const std::string&, const Labels&, const Counter& c) {
+        ++counters;
+        sum += c.value();
+      });
+  int gauges = 0;
+  reg.for_each_gauge([&](const std::string& name, const Labels&,
+                         const Gauge& g) {
+    ++gauges;
+    EXPECT_EQ(name, "g.one");
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  });
+  EXPECT_EQ(counters, 2);
+  EXPECT_EQ(sum, 3);
+  EXPECT_EQ(gauges, 1);
+}
+
 TEST(Metrics, JsonSnapshotListsEveryInstrument) {
   MetricsRegistry reg;
   reg.counter("net.reallocations").add(7);

@@ -14,7 +14,11 @@
 //                                          post-mortem: event census,
 //                                          decision-latency percentiles,
 //                                          fault timeline, and causal
-//                                          round->decision->migration chains
+//                                          round->decision->migration chains.
+//                                          Sharded artifacts (merged journal,
+//                                          zone-labelled metrics) additionally
+//                                          get a per-zone census and per-zone
+//                                          + pooled latency rows
 //   bassctl journal query <journal.jsonl> [--type T] [--span N]
 //                  [--since-us U] [--last N]
 //                                          raw JSONL queries; --span selects
@@ -32,7 +36,12 @@
 //                                          ini's [serve]/[run] sections (a
 //                                          missing [serve] section is
 //                                          created), so any mesh-only
-//                                          scenario can serve
+//                                          scenario can serve. With a
+//                                          [zones] section the run shards
+//                                          across per-zone solver worlds on
+//                                          --jobs workers (default 1;
+//                                          0 = one per zone) with border
+//                                          reconciliation between rounds
 //   bassctl dot <scenario.ini> [out.dot]   export the initial placement
 //   bassctl trace --mean-mbps M [--stddev-frac F] [--duration-s S]
 //                 [--fades] [--seed N] [--out trace.csv]
@@ -76,6 +85,7 @@
 #include "trace/generator.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "zone/sharded.h"
 
 using namespace bass;
 
@@ -94,6 +104,7 @@ int usage() {
                "  bassctl journal query <journal.jsonl> [--type T] [--span N]\n"
                "                 [--since-us U] [--last N]\n"
                "  bassctl serve <scenario.ini> [--duration S] [--arrival-rate R]\n"
+               "                [--jobs N]\n"
                "                [--mode static|adaptive|dynamic] [--seed N]\n"
                "                [--policy fifo|reject|defer] [--journal out.jsonl]\n"
                "                [--metrics out.json] [--trace out.trace.json]\n"
@@ -265,6 +276,116 @@ int cmd_run(const std::vector<std::string>& args) {
 
 // ---- bassctl serve ----
 
+// Sharded serve: a [zones] section routes the scenario through one solver
+// world per zone with border reconciliation between rounds, overlapping
+// zone rounds on --jobs workers. Same seed + any --jobs value produce a
+// byte-identical --journal.
+int serve_sharded(const util::IniFile& ini, std::uint64_t jobs,
+                  const std::string& journal_path, const std::string& metrics_path,
+                  const std::string& trace_path, const std::string& prom_path) {
+  auto built =
+      zone::ShardedOrchestrator::from_ini(ini, static_cast<std::size_t>(jobs));
+  if (!built.ok()) {
+    std::fprintf(stderr, "scenario error: %s\n", built.error().c_str());
+    return 1;
+  }
+  auto orch = built.take();
+  const zone::ShardedReport report = orch->run();
+
+  const zone::Partition& part = orch->partition();
+  std::printf("zones      %d zones over %zu nodes, %zu border links,"
+              " %zu transit streams\n",
+              orch->zones(), part.zone_of.size(), report.border_links,
+              report.transit_streams);
+  std::printf("rounds     %d rounds, %lld reconcile iterations\n", report.rounds,
+              static_cast<long long>(report.reconcile_iterations));
+  std::printf("churn      %lld arrivals, %lld departures (%lld cancelled in"
+              " queue), %d live at end\n",
+              static_cast<long long>(report.serve_arrivals),
+              static_cast<long long>(report.serve_departures),
+              static_cast<long long>(report.serve_cancelled),
+              report.serve_live_at_end);
+  std::printf("admission  %lld admitted, %lld rejected, %lld deferred"
+              " (peak queue depth %d)\n",
+              static_cast<long long>(report.serve_admitted),
+              static_cast<long long>(report.serve_rejected),
+              static_cast<long long>(report.serve_deferred),
+              report.serve_peak_queue_depth);
+  std::printf("migrations %zu\n", report.migrations);
+
+  // Pooled SLOs: finish() folded every zone's instruments into the
+  // coordinator registry under {zone} labels; merging them back gives the
+  // city-wide distribution in the same format the unsharded path prints.
+  obs::MetricsRegistry& metrics = orch->recorder().metrics();
+  obs::LogHistogram wait, decision;
+  metrics.for_each_log_histogram(
+      [&](const std::string& name, const obs::Labels&, const obs::LogHistogram& h) {
+        if (name == "orchestrator.admission_wait_us") wait.merge(h);
+        if (name == "orchestrator.decision_us") decision.merge(h);
+      });
+  if (wait.count() > 0) {
+    std::printf("admission latency: p50 %.1f ms, p99 %.1f ms, max %.1f ms"
+                " over %lld decisions\n",
+                wait.percentile(0.50) / 1e3, wait.percentile(0.99) / 1e3,
+                wait.max() / 1e3, static_cast<long long>(wait.count()));
+  }
+  if (decision.count() > 0) {
+    std::printf("decision latency:  p50 %.1f us, p99 %.1f us, max %.1f us"
+                " over %lld rounds\n",
+                decision.percentile(0.50), decision.percentile(0.99),
+                decision.max(), static_cast<long long>(decision.count()));
+  }
+  for (int z = 0; z < orch->zones(); ++z) {
+    const obs::LogHistogram& wall = metrics.log_timer_us(
+        "zone.round_wall_us", {{"zone", std::to_string(z)}});
+    std::printf("zone %d     %zu nodes, round wall p50 %.1f ms over %lld rounds\n",
+                z, part.members[static_cast<std::size_t>(z)].size(),
+                wall.percentile(0.50) / 1e3, static_cast<long long>(wall.count()));
+  }
+
+  int rc = 0;
+  if (!journal_path.empty()) {
+    const std::string merged = orch->merged_journal();
+    std::ofstream out(journal_path);
+    if (!out || !(out << merged)) {
+      std::fprintf(stderr, "cannot write '%s'\n", journal_path.c_str());
+      rc = 1;
+    } else {
+      std::printf("journal    merged %d zones -> %s\n", orch->zones(),
+                  journal_path.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (!metrics.write_json(metrics_path, orch->now())) {
+      std::fprintf(stderr, "cannot write '%s'\n", metrics_path.c_str());
+      rc = 1;
+    } else {
+      std::printf("metrics    %zu instruments -> %s\n",
+                  metrics.instrument_count(), metrics_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    std::printf("trace      not supported with [zones] (per-zone clocks);"
+                " use --journal + bassctl events\n");
+  }
+  if (!prom_path.empty()) {
+    std::ofstream out(prom_path);
+    if (!out || !(out << metrics.to_prometheus(orch->now()))) {
+      std::fprintf(stderr, "cannot write '%s'\n", prom_path.c_str());
+      rc = 1;
+    } else {
+      std::printf("prom       %zu instruments -> %s\n",
+                  metrics.instrument_count(), prom_path.c_str());
+    }
+  }
+  if (report.invariant_violations > 0) {
+    std::fprintf(stderr, "FAIL: %d invariant violations\n",
+                 report.invariant_violations);
+    return rc != 0 ? rc : 1;
+  }
+  return rc;
+}
+
 // Long-running control-plane mode: builds the mesh from the scenario, then
 // hands the orchestrator to the serving loop (churn arrivals through the
 // admission queue, undeploy on departure) instead of a one-shot app.
@@ -272,13 +393,15 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::string path;
   std::string journal_path, metrics_path, trace_path, prom_path;
   std::string mode, policy;
-  std::uint64_t duration_s = 0, seed = 0;
+  std::uint64_t duration_s = 0, seed = 0, jobs = 1;
   bool has_duration = false, has_seed = false;
   double arrival_per_min = -1;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--duration" && i + 1 < args.size()) {
       if (!parse_u64_flag("--duration", args[++i], 1, duration_s)) return 2;
       has_duration = true;
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      if (!parse_u64_flag("--jobs", args[++i], 0, jobs)) return 2;
     } else if (args[i] == "--arrival-rate" && i + 1 < args.size()) {
       const std::string& token = args[++i];
       char* end = nullptr;
@@ -341,6 +464,11 @@ int cmd_serve(const std::vector<std::string>& args) {
   if (!policy.empty()) overrides.push_back({"serve", "policy", policy});
   if (has_seed) overrides.push_back({"serve", "seed", std::to_string(seed)});
   exec::apply_overrides(ini.value(), overrides);
+
+  if (ini.value().first_of_kind("zones") != nullptr) {
+    return serve_sharded(ini.value(), jobs, journal_path, metrics_path,
+                         trace_path, prom_path);
+  }
 
   auto s = scenario::Scenario::from_ini(ini.value());
   if (!s.ok()) {
@@ -625,8 +753,12 @@ bool json_field(const std::string& line, const char* key, std::string& out) {
 
 struct LatencySummary {
   std::string name;
+  std::string zone;  // "" unless the instrument carries a {zone} label
   long long count = 0;
   double p50 = 0, p90 = 0, p99 = 0, max = 0;
+  // Sparse log2 buckets as exported: [bucket_upper, count] pairs, ascending.
+  // Pooling across zones merges these instead of averaging percentiles.
+  std::vector<std::pair<std::uint64_t, long long>> buckets;
 };
 
 // Lifts every histogram instrument (fixed or log2) out of a metrics
@@ -648,6 +780,26 @@ std::vector<LatencySummary> load_latency_summaries(const std::string& path) {
     if (json_field(line, "p99", v)) s.p99 = std::atof(v.c_str());
     if (json_field(line, "max", v)) s.max = std::atof(v.c_str());
     if (json_field(line, "count", v)) s.count = std::atoll(v.c_str());
+    // Sharded serves fold per-zone histograms into the coordinator registry
+    // with an appended {zone} label; surface it so the report can group.
+    json_field(line, "zone", s.zone);
+    std::string kind;
+    if (json_field(line, "kind", kind) && kind == "log2") {
+      const std::size_t b = line.find("\"buckets\":[");
+      if (b != std::string::npos) {
+        const char* p = line.c_str() + b + 11;
+        while (*p == '[') {
+          char* end = nullptr;
+          const std::uint64_t upper = std::strtoull(p + 1, &end, 10);
+          if (end == nullptr || *end != ',') break;
+          const long long n = std::strtoll(end + 1, &end, 10);
+          if (end == nullptr || *end != ']') break;
+          s.buckets.emplace_back(upper, n);
+          p = end + 1;
+          if (*p == ',') ++p;
+        }
+      }
+    }
     out.push_back(std::move(s));
   }
   return out;
@@ -702,6 +854,30 @@ int cmd_report(const std::vector<std::string>& args) {
     std::printf("  %-24s %6zu\n", type.c_str(), n);
   }
 
+  // Sharded serves tag every merged-journal event with its source zone
+  // (-1 = coordinator); group the census so per-zone skew is visible.
+  std::map<long long, std::map<std::string, std::size_t>> zone_census;
+  for (const JournalLine& e : events) {
+    const std::string z = field_of(e, "zone");
+    if (z.empty()) continue;
+    ++zone_census[std::atoll(z.c_str())][e.type];
+  }
+  if (!zone_census.empty()) {
+    std::printf("\nper-zone census\n");
+    for (const auto& [z, types] : zone_census) {
+      std::size_t total = 0;
+      const std::pair<const std::string, std::size_t>* top = nullptr;
+      for (const auto& t : types) {
+        total += t.second;
+        if (top == nullptr || t.second > top->second) top = &t;
+      }
+      const std::string label =
+          z < 0 ? std::string("coord") : "zone " + std::to_string(z);
+      std::printf("  %-10s %6zu events  (top: %s %zu)\n", label.c_str(), total,
+                  top->first.c_str(), top->second);
+    }
+  }
+
   // Latency percentiles.
   const std::vector<LatencySummary> latencies =
       metrics_path.empty() ? std::vector<LatencySummary>{}
@@ -710,12 +886,61 @@ int cmd_report(const std::vector<std::string>& args) {
     std::printf("\nlatency (%s)\n  %-28s %8s %10s %10s %10s %10s\n",
                 metrics_path.c_str(), "histogram", "count", "p50", "p90",
                 "p99", "max");
+    bool decision_printed = false;
     for (const LatencySummary& s : latencies) {
+      if (!s.zone.empty()) continue;  // zoned instruments grouped below
       std::printf("  %-28s %8lld %10.1f %10.1f %10.1f %10.1f\n",
                   s.name.c_str(), s.count, s.p50, s.p90, s.p99, s.max);
       if (s.name == "orchestrator.decision_us") {
         std::printf("  decision latency: p50 %.1f us, p99 %.1f us over %lld"
                     " controller rounds\n", s.p50, s.p99, s.count);
+        decision_printed = true;
+      }
+    }
+    // Zone-labelled histograms from a sharded serve: per-zone rows, then a
+    // pooled row rebuilt by merging each zone's sparse log2 buckets — the
+    // only way to pool percentiles correctly (averaging p99s is wrong).
+    std::map<std::string, std::vector<const LatencySummary*>> zoned;
+    for (const LatencySummary& s : latencies) {
+      if (!s.zone.empty()) zoned[s.name].push_back(&s);
+    }
+    for (auto& [name, rows] : zoned) {
+      std::sort(rows.begin(), rows.end(),
+                [](const LatencySummary* a, const LatencySummary* b) {
+                  return std::atoll(a->zone.c_str()) <
+                         std::atoll(b->zone.c_str());
+                });
+      std::map<std::uint64_t, long long> merged;
+      long long total = 0;
+      double max = 0;
+      for (const LatencySummary* r : rows) {
+        const std::string label = name + "{zone=" + r->zone + "}";
+        std::printf("  %-28s %8lld %10.1f %10.1f %10.1f %10.1f\n",
+                    label.c_str(), r->count, r->p50, r->p90, r->p99, r->max);
+        total += r->count;
+        if (r->max > max) max = r->max;
+        for (const auto& [upper, n] : r->buckets) merged[upper] += n;
+      }
+      const auto pooled_pct = [&](double q) {
+        if (total <= 0 || merged.empty()) return 0.0;
+        const double target = q * static_cast<double>(total);
+        long long cum = 0;
+        for (const auto& [upper, n] : merged) {
+          cum += n;
+          if (static_cast<double>(cum) >= target) {
+            return std::min(static_cast<double>(upper), max);
+          }
+        }
+        return max;
+      };
+      const double p50 = pooled_pct(0.50), p90 = pooled_pct(0.90),
+                   p99 = pooled_pct(0.99);
+      const std::string label = name + " (all zones)";
+      std::printf("  %-28s %8lld %10.1f %10.1f %10.1f %10.1f\n", label.c_str(),
+                  total, p50, p90, p99, max);
+      if (name == "orchestrator.decision_us" && !decision_printed) {
+        std::printf("  decision latency: p50 %.1f us, p99 %.1f us over %lld"
+                    " controller rounds\n", p50, p99, total);
       }
     }
   } else {
@@ -812,13 +1037,24 @@ int cmd_report(const std::vector<std::string>& args) {
   // scrape job that only has the artifacts, not a live run.
   if (!prom_path.empty()) {
     std::string prom;
+    std::map<std::string, bool> typed;  // one TYPE line per metric name
     for (const LatencySummary& s : latencies) {
       const std::string name = prom_safe(s.name);
-      prom += "# TYPE " + name + " summary\n";
-      prom += name + "{quantile=\"0.5\"} " + util::str_format("%g", s.p50) + "\n";
-      prom += name + "{quantile=\"0.9\"} " + util::str_format("%g", s.p90) + "\n";
-      prom += name + "{quantile=\"0.99\"} " + util::str_format("%g", s.p99) + "\n";
-      prom += name + util::str_format("_count %lld\n", s.count);
+      if (!typed[name]) {
+        typed[name] = true;
+        prom += "# TYPE " + name + " summary\n";
+      }
+      const std::string zl =
+          s.zone.empty() ? std::string{} : ",zone=\"" + s.zone + "\"";
+      prom += name + "{quantile=\"0.5\"" + zl + "} " +
+              util::str_format("%g", s.p50) + "\n";
+      prom += name + "{quantile=\"0.9\"" + zl + "} " +
+              util::str_format("%g", s.p90) + "\n";
+      prom += name + "{quantile=\"0.99\"" + zl + "} " +
+              util::str_format("%g", s.p99) + "\n";
+      prom += name + "_count" +
+              (s.zone.empty() ? std::string{} : "{zone=\"" + s.zone + "\"}") +
+              util::str_format(" %lld\n", s.count);
     }
     for (const auto& [type, n] : counts) {
       const std::string name = prom_safe("journal.events_total");
