@@ -41,6 +41,13 @@ class Simulation {
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
+  // True when a live event is scheduled at or before `deadline` — the
+  // activity probe gated orchestration uses to distinguish "this world
+  // would do something this round" from "run_until would only move the
+  // clock". Non-const: peeking compacts cancelled tombstones.
+  bool has_event_before(Time deadline) {
+    return !queue_.empty() && queue_.next_time() <= deadline;
+  }
   // Lazily-cancelled entries awaiting heap compaction; bounded by
   // pending_events() (see EventQueue::cancelled_backlog).
   std::size_t cancelled_backlog() const { return queue_.cancelled_backlog(); }

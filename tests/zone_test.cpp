@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -267,7 +268,8 @@ TEST(Sharded, ReconciliationSettlesWithinOnePassPerRound) {
   EXPECT_LE(per_round[0], 2);
 }
 
-std::string serving_ini(int zones, int transit_per_border) {
+std::string serving_ini(int zones, int transit_per_border,
+                        const std::string& zone_extra = "") {
   return util::str_format(
       "[topology]\n"
       "kind = city_grid\n"
@@ -280,6 +282,7 @@ std::string serving_ini(int zones, int transit_per_border) {
       "method = bfs\n"
       "round_interval_s = 10\n"
       "transit_per_border = %d\n"
+      "%s"
       "[monitor]\n"
       "enabled = false\n"
       "[invariants]\n"
@@ -292,12 +295,12 @@ std::string serving_ini(int zones, int transit_per_border) {
       "resource_scale = 0.1\n"
       "[run]\n"
       "duration_s = 40\n",
-      zones, transit_per_border);
+      zones, transit_per_border, zone_extra.c_str());
 }
 
-std::unique_ptr<ShardedOrchestrator> serving_orchestrator(int zones, int transit,
-                                                          std::size_t jobs) {
-  auto ini = util::parse_ini(serving_ini(zones, transit));
+std::unique_ptr<ShardedOrchestrator> serving_orchestrator(
+    int zones, int transit, std::size_t jobs, const std::string& zone_extra = "") {
+  auto ini = util::parse_ini(serving_ini(zones, transit, zone_extra));
   EXPECT_TRUE(ini.ok()) << ini.error();
   auto built = ShardedOrchestrator::from_ini(ini.value(), jobs);
   EXPECT_TRUE(built.ok()) << built.error();
@@ -324,6 +327,130 @@ TEST(Sharded, MergedJournalIdenticalAcrossJobs) {
   const std::string ja = a->merged_journal();
   ASSERT_FALSE(ja.empty());
   EXPECT_EQ(ja, b->merged_journal());
+}
+
+// Bitwise comparison of everything a finished run can show: final link
+// allocations in every zone world, plus each zone's migration history.
+void expect_bitwise_equal_outcomes(ShardedOrchestrator& a,
+                                   ShardedOrchestrator& b) {
+  ASSERT_EQ(a.zones(), b.zones());
+  for (int z = 0; z < a.zones(); ++z) {
+    const net::Network& na = a.zone_network(z);
+    const net::Network& nb = b.zone_network(z);
+    ASSERT_EQ(na.topology().link_count(), nb.topology().link_count());
+    for (net::LinkId l = 0; l < na.topology().link_count(); ++l) {
+      ASSERT_EQ(na.link_allocated(l), nb.link_allocated(l))
+          << "zone " << z << " link " << l;
+    }
+    const auto& ma = a.zone_orchestrator(z).migration_events();
+    const auto& mb = b.zone_orchestrator(z).migration_events();
+    ASSERT_EQ(ma.size(), mb.size()) << "zone " << z;
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+      EXPECT_EQ(ma[i].at, mb[i].at);
+      EXPECT_EQ(ma[i].deployment, mb[i].deployment);
+      EXPECT_EQ(ma[i].component, mb[i].component);
+      EXPECT_EQ(ma[i].from, mb[i].from);
+      EXPECT_EQ(ma[i].to, mb[i].to);
+    }
+  }
+}
+
+// Activity gating must be invisible to every observable outcome: the same
+// scenario with gating on and off lands on a byte-identical merged journal
+// and bitwise-equal allocations/migrations. Sparse churn (all arrivals in
+// zone 0) makes zone 1 actually take the cheap tick in the gated run, so
+// the equality is exercised, not vacuous.
+TEST(Sharded, GatedMatchesUngatedBitwise) {
+  auto gated = serving_orchestrator(2, 1, 1, "active_zones = 1\n");
+  auto ungated =
+      serving_orchestrator(2, 1, 1, "active_zones = 1\ngating = false\n");
+  gated->run();
+  ungated->run();
+  EXPECT_GT(gated->report().zone_rounds_skipped, 0);
+  EXPECT_EQ(ungated->report().zone_rounds_skipped, 0);
+  EXPECT_EQ(gated->merged_journal(), ungated->merged_journal());
+  expect_bitwise_equal_outcomes(*gated, *ungated);
+}
+
+// Same contract under chaos: a mid-run node crash (failure detection,
+// restart timers, placement retries — all events the gate must see) still
+// produces identical journals and outcomes gated vs ungated.
+TEST(Sharded, ChaosGatedMatchesUngatedBitwise) {
+  auto gated = serving_orchestrator(2, 1, 1, "active_zones = 1\n");
+  auto ungated =
+      serving_orchestrator(2, 1, 1, "active_zones = 1\ngating = false\n");
+  const net::NodeId victim_global = gated->partition().members[0][0];
+  for (auto* orch : {gated.get(), ungated.get()}) {
+    orch->start();
+    orch->run_round();
+    orch->run_round();
+    orch->zone_orchestrator(0).fail_node(orch->local_node(0, victim_global));
+    while (orch->rounds_done() < orch->rounds_total()) orch->run_round();
+    orch->finish();
+  }
+  EXPECT_EQ(gated->merged_journal(), ungated->merged_journal());
+  expect_bitwise_equal_outcomes(*gated, *ungated);
+}
+
+// The k-way heap merge against a from-scratch reference of the original
+// implementation: annotate each zone line, concatenate zones in order with
+// the coordinator last, stable_sort by t_us.
+TEST(Sharded, MergedJournalMatchesStableSortReference) {
+  auto orch = serving_orchestrator(3, 2, 1);
+  orch->run();
+  // merged_journal() flushes deferred events — call it before reading the
+  // per-zone journals the reference is built from.
+  const std::string merged = orch->merged_journal();
+  ASSERT_FALSE(merged.empty());
+
+  struct Line {
+    long long t;
+    std::string text;
+  };
+  std::vector<Line> lines;
+  const auto add = [&lines](const std::string& jsonl, int zone) {
+    std::size_t start = 0;
+    while (start < jsonl.size()) {
+      std::size_t end = jsonl.find('\n', start);
+      if (end == std::string::npos) end = jsonl.size();
+      if (end > start) {
+        std::string text = jsonl.substr(start, end - start);
+        if (zone >= 0 && !text.empty() && text.back() == '}') {
+          text.pop_back();
+          text += util::str_format(",\"zone\":%d}", zone);
+        }
+        const long long t = std::strtoll(text.c_str() + 8, nullptr, 10);
+        lines.push_back({t, std::move(text)});
+      }
+      start = end + 1;
+    }
+  };
+  for (int z = 0; z < orch->zones(); ++z) {
+    add(orch->zone_recorder(z).journal().to_jsonl(), z);
+  }
+  add(orch->recorder().journal().to_jsonl(), -1);
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) { return a.t < b.t; });
+  std::string expected;
+  for (const Line& l : lines) {
+    expected += l.text;
+    expected += '\n';
+  }
+  EXPECT_EQ(merged, expected);
+}
+
+// An idle zone may coast on the cheap tick for at most max_skip
+// consecutive rounds before the heartbeat forces a full pass.
+TEST(Sharded, HeartbeatBoundsConsecutiveSkips) {
+  auto orch = serving_orchestrator(2, 1, 1, "active_zones = 1\nmax_skip = 3\n");
+  const ShardedReport report = orch->run();
+  EXPECT_GT(report.zone_rounds_skipped, 0);
+  EXPECT_LE(orch->max_consecutive_skips(), 3);
+  // 4 rounds, one idle zone: it skips rounds 1-3 (hitting the bound), then
+  // the heartbeat forces round 4 — while the busy zone runs full every
+  // round.
+  EXPECT_EQ(report.zone_rounds_skipped, 3);
+  EXPECT_EQ(report.zone_rounds_full, 5);
 }
 
 // Chaos interaction across the shard boundary: with transit disabled the
@@ -376,6 +503,24 @@ TEST(Sharded, FromIniValidatesSections) {
   auto m = ShardedOrchestrator::from_ini(bad_method.value(), 1);
   ASSERT_FALSE(m.ok());
   EXPECT_NE(m.error().find("voronoi"), std::string::npos);
+
+  auto bad_skip = util::parse_ini(
+      "[topology]\nkind = city_grid\n"
+      "[zones]\ncount = 2\nmax_skip = 0\n"
+      "[serve]\nmode = adaptive\n");
+  ASSERT_TRUE(bad_skip.ok());
+  auto s = ShardedOrchestrator::from_ini(bad_skip.value(), 1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().find("max_skip"), std::string::npos);
+
+  auto bad_active = util::parse_ini(
+      "[topology]\nkind = city_grid\n"
+      "[zones]\ncount = 2\nactive_zones = -1\n"
+      "[serve]\nmode = adaptive\n");
+  ASSERT_TRUE(bad_active.ok());
+  auto a = ShardedOrchestrator::from_ini(bad_active.value(), 1);
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.error().find("active_zones"), std::string::npos);
 }
 
 }  // namespace

@@ -294,11 +294,23 @@ int serve_sharded(const util::IniFile& ini, std::uint64_t jobs,
 
   const zone::Partition& part = orch->partition();
   std::printf("zones      %d zones over %zu nodes, %zu border links,"
-              " %zu transit streams\n",
+              " %zu transit streams",
               orch->zones(), part.zone_of.size(), report.border_links,
               report.transit_streams);
+  if (report.transit_unroutable > 0) {
+    std::printf(" (%zu unroutable)", report.transit_unroutable);
+  }
+  std::printf("\n");
   std::printf("rounds     %d rounds, %lld reconcile iterations\n", report.rounds,
               static_cast<long long>(report.reconcile_iterations));
+  std::printf("gating     %lld zone-rounds full, %lld skipped (tick only);"
+              " %lld border rebuilds across %zu components, %lld reconciles"
+              " skipped\n",
+              static_cast<long long>(report.zone_rounds_full),
+              static_cast<long long>(report.zone_rounds_skipped),
+              static_cast<long long>(report.border_rebuilds),
+              report.border_components,
+              static_cast<long long>(report.reconcile_rounds_skipped));
   std::printf("churn      %lld arrivals, %lld departures (%lld cancelled in"
               " queue), %d live at end\n",
               static_cast<long long>(report.serve_arrivals),
@@ -862,19 +874,60 @@ int cmd_report(const std::vector<std::string>& args) {
     if (z.empty()) continue;
     ++zone_census[std::atoll(z.c_str())][e.type];
   }
-  if (!zone_census.empty()) {
+  // Activity gating leaves quiescent zones out of the journal almost
+  // entirely; the metrics sidecar's per-zone skip counters let the census
+  // tell "quiet because gated" apart from "missing".
+  std::map<long long, long long> skipped_by_zone;
+  if (!metrics_path.empty()) {
+    std::ifstream min(metrics_path);
+    std::string mline;
+    while (std::getline(min, mline)) {
+      std::string name, zone, value;
+      if (!json_field(mline, "name", name) || name != "zone.skipped_rounds") {
+        continue;
+      }
+      if (!json_field(mline, "zone", zone) ||
+          !json_field(mline, "value", value)) {
+        continue;
+      }
+      skipped_by_zone[std::atoll(zone.c_str())] = std::atoll(value.c_str());
+    }
+  }
+  if (!zone_census.empty() || !skipped_by_zone.empty()) {
+    // Every zone the run knew about gets a row: zones absent from the
+    // journal (all rounds skipped, no events of their own) print as
+    // explicit idle rows instead of silently vanishing from the census.
+    long long max_zone = -1;
+    if (!zone_census.empty()) max_zone = zone_census.rbegin()->first;
+    if (!skipped_by_zone.empty()) {
+      max_zone = std::max(max_zone, skipped_by_zone.rbegin()->first);
+    }
+    for (long long z = 0; z <= max_zone; ++z) zone_census[z];  // gap-fill
     std::printf("\nper-zone census\n");
     for (const auto& [z, types] : zone_census) {
-      std::size_t total = 0;
+      std::size_t total = 0, own = 0;
       const std::pair<const std::string, std::size_t>* top = nullptr;
       for (const auto& t : types) {
         total += t.second;
+        // zone_round summaries are coordinator-emitted on the zone's
+        // behalf every round; everything else came out of the zone's own
+        // world, so `own == 0` means the zone was quiescent end to end.
+        if (t.first != "zone_round") own += t.second;
         if (top == nullptr || t.second > top->second) top = &t;
       }
       const std::string label =
           z < 0 ? std::string("coord") : "zone " + std::to_string(z);
-      std::printf("  %-10s %6zu events  (top: %s %zu)\n", label.c_str(), total,
-                  top->first.c_str(), top->second);
+      std::printf("  %-10s %6zu events", label.c_str(), total);
+      if (z >= 0 && own == 0) {
+        std::printf("  (idle)");
+      } else if (top != nullptr) {
+        std::printf("  (top: %s %zu)", top->first.c_str(), top->second);
+      }
+      const auto skipped = skipped_by_zone.find(z);
+      if (skipped != skipped_by_zone.end() && skipped->second > 0) {
+        std::printf("  %lld rounds skipped", skipped->second);
+      }
+      std::printf("\n");
     }
   }
 
